@@ -1,0 +1,111 @@
+//! **E4 — convergence class of the linearization variants.**
+//!
+//! Onus et al. (as summarized in the paper's Section 2): *pure*
+//! linearization "may require many iterations for some graphs" (average
+//! runtime linear), while *linearization with memory* and *LSN* converge in
+//! polylogarithmically many rounds on average for random graphs. This sweep
+//! measures rounds-to-line versus `n` for all three variants over three
+//! topology families, and reports the fitted growth exponent
+//! `slope(log₂ rounds / log₂ n)` — ≈ 1 means linear, ≪ 1 (with rounds ~
+//! polylog) means the memory/LSN class.
+//!
+//! Ablation: `--semantics pairwise` runs Onus et al.'s original one-pair
+//! actions (pure variant only) instead of the paper's star rule.
+//!
+//! Run: `cargo run --release -p ssr-bench --bin exp_convergence`
+//! Flags: `--seeds K` (default 10), `--quick`, `--semantics star|pairwise`,
+//! `--csv PATH`.
+
+use ssr_bench::Args;
+use ssr_linearize::{run, Semantics, Variant};
+use ssr_workloads::{parallel_map, stats, Summary, Table, Topology};
+
+fn main() {
+    let args = Args::parse();
+    let seeds: u64 = args.get("seeds", 10);
+    let semantics = match args.opt("semantics").unwrap_or("star") {
+        "star" => Semantics::Star,
+        "pairwise" => Semantics::Pairwise,
+        other => panic!("unknown semantics {other}"),
+    };
+    let sizes: Vec<usize> = if args.quick() {
+        vec![64, 128, 256]
+    } else {
+        vec![64, 128, 256, 512, 1024, 2048, 4096]
+    };
+    let variants: Vec<Variant> = if semantics == Semantics::Pairwise {
+        vec![Variant::Pure]
+    } else {
+        vec![Variant::Pure, Variant::Memory, Variant::lsn()]
+    };
+    // the scrambled ring (random labels over a cycle) is the family where
+    // pure linearization's slow (≈ linear) behaviour shows; random graphs
+    // are "nice" for every variant
+    let families = |n: usize| {
+        vec![
+            Topology::Ring { n },
+            Topology::Regular { n, d: 4 },
+            Topology::Gnp { n, c: 2.0 },
+            Topology::SmallWorld { n, k: 4, beta: 0.2 },
+        ]
+    };
+
+    let mut table = Table::new(
+        format!("E4: rounds to the sorted line ({} semantics)", semantics.name()),
+        &["family", "variant", "n", "rounds (mean ± ci)", "max", "peak degree"],
+    );
+    // per (family, variant): (log2 n, log2 mean rounds) series for the fit
+    let mut fits: std::collections::BTreeMap<(String, String), (Vec<f64>, Vec<f64>)> =
+        std::collections::BTreeMap::new();
+
+    for &n in &sizes {
+        for topo in families(n) {
+            for &variant in &variants {
+                let inputs: Vec<u64> = (0..seeds).collect();
+                let results = parallel_map(inputs, ssr_workloads::sweep::default_workers(), |&seed| {
+                    let (g, labels) = topo.instance(seed.wrapping_mul(0x9E37) ^ n as u64);
+                    // rank-relabel so index order = identifier order
+                    let (rg, _) = ssr_linearize::convergence::relabel_to_ranks(&g, &labels);
+                    let budget = if matches!(variant, Variant::Pure) {
+                        80 * n
+                    } else {
+                        4000
+                    };
+                    let r = run(&rg, variant, semantics, budget);
+                    (
+                        r.line_at.map(|x| x as f64).unwrap_or(f64::NAN),
+                        r.peak_degree(),
+                    )
+                });
+                let rounds: Vec<f64> = results.iter().map(|&(r, _)| r).filter(|r| r.is_finite()).collect();
+                let peak = results.iter().map(|&(_, p)| p).max().unwrap_or(0);
+                let s = Summary::of(&rounds);
+                table.row(&[
+                    topo.family().to_string(),
+                    variant.name().to_string(),
+                    n.to_string(),
+                    s.fmt(1),
+                    format!("{:.0}", s.max),
+                    peak.to_string(),
+                ]);
+                let key = (topo.family().to_string(), variant.name().to_string());
+                let entry = fits.entry(key).or_default();
+                if s.mean > 0.0 {
+                    entry.0.push((n as f64).log2());
+                    entry.1.push(s.mean.log2());
+                }
+            }
+        }
+    }
+
+    table.print();
+    println!("\nfitted growth exponents (slope of log2 rounds vs log2 n; 1 ≈ linear):");
+    for ((family, variant), (xs, ys)) in &fits {
+        println!("  {family:<12} {variant:<7}: {:.2}", stats::slope(xs, ys));
+    }
+    println!("\npaper claim: pure ≈ linear; memory/LSN polylogarithmic (exponent ≪ 1).");
+    if let Some(path) = args.csv() {
+        table.to_csv(path).expect("csv");
+        println!("(csv written to {path})");
+    }
+}

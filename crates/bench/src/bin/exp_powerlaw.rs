@@ -1,0 +1,85 @@
+//! **E5 — the power-law datapoint: "α = 2 converges in less than 39
+//! rounds".**
+//!
+//! The paper quotes Onus et al.: LSN linearization on "a power law graph
+//! with [100 000] nodes and α = 2 converges in less than 39 rounds". This
+//! sweep runs LSN (and the with-memory variant for reference) on erased
+//! configuration-model power-law graphs with α = 2 for n up to 100 000 and
+//! checks (a) the absolute bound at the largest n and (b) the polylog
+//! shape of the growth.
+//!
+//! Run: `cargo run --release -p ssr-bench --bin exp_powerlaw`
+//! Flags: `--seeds K` (default 5), `--quick` (up to n = 10⁴), `--alpha A`,
+//! `--csv PATH`.
+
+use ssr_bench::Args;
+use ssr_linearize::{run, Semantics, Variant};
+use ssr_workloads::{parallel_map, stats, Summary, Table, Topology};
+
+fn main() {
+    let args = Args::parse();
+    let seeds: u64 = args.get("seeds", 5);
+    let alpha: f64 = args.get("alpha", 2.0);
+    let sizes: Vec<usize> = if args.quick() {
+        vec![1_000, 3_000, 10_000]
+    } else {
+        vec![1_000, 3_000, 10_000, 30_000, 100_000]
+    };
+
+    let mut table = Table::new(
+        format!("E5: LSN on power-law graphs (alpha = {alpha})"),
+        &["variant", "n", "rounds (mean ± ci)", "max", "peak degree"],
+    );
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let mut largest_max = 0f64;
+
+    for &n in &sizes {
+        for variant in [Variant::lsn(), Variant::Memory] {
+            let topo = Topology::PowerLaw { n, alpha };
+            let inputs: Vec<u64> = (0..seeds).collect();
+            let results = parallel_map(inputs, ssr_workloads::sweep::default_workers(), |&seed| {
+                let (g, labels) = topo.instance(seed.wrapping_mul(31) ^ n as u64);
+                let (rg, _) = ssr_linearize::convergence::relabel_to_ranks(&g, &labels);
+                let r = run(&rg, variant, Semantics::Star, 2000);
+                (
+                    r.line_at.map(|x| x as f64).unwrap_or(f64::NAN),
+                    r.peak_degree(),
+                )
+            });
+            let rounds: Vec<f64> = results.iter().map(|&(r, _)| r).filter(|r| r.is_finite()).collect();
+            let peak = results.iter().map(|&(_, p)| p).max().unwrap_or(0);
+            let s = Summary::of(&rounds);
+            table.row(&[
+                variant.name().to_string(),
+                n.to_string(),
+                s.fmt(1),
+                format!("{:.0}", s.max),
+                peak.to_string(),
+            ]);
+            if variant.name() == "lsn" {
+                xs.push((n as f64).log2());
+                ys.push(s.mean.log2());
+                if n == *sizes.last().unwrap() {
+                    largest_max = s.max;
+                }
+            }
+        }
+    }
+
+    table.print();
+    println!(
+        "\nLSN growth exponent (log2 rounds vs log2 n): {:.2} — polylog expected (≪ 1)",
+        stats::slope(&xs, &ys)
+    );
+    println!(
+        "paper datapoint: < 39 rounds at the largest size; measured max at n = {}: {:.0} rounds — {}",
+        sizes.last().unwrap(),
+        largest_max,
+        if largest_max < 39.0 { "HOLDS" } else { "EXCEEDED" }
+    );
+    if let Some(path) = args.csv() {
+        table.to_csv(path).expect("csv");
+        println!("(csv written to {path})");
+    }
+}

@@ -1,0 +1,99 @@
+//! **E7 — routing over the converged ring.**
+//!
+//! "If the virtual ring has been formed consistently, this routing
+//! algorithm is guaranteed to succeed for any source and destination
+//! pair." This experiment bootstraps linearized SSR on unit-disk networks,
+//! then routes `10·n` random pairs over the converged state: success rate
+//! (must be 100%), mean virtual hops (polylog thanks to the cached LSN
+//! shortcuts), and physical path stretch versus BFS shortest paths. It
+//! also measures mid-convergence success (stopping the bootstrap early) to
+//! show the guarantee is really about *consistency*, not luck.
+//!
+//! Run: `cargo run --release -p ssr-bench --bin exp_routing`
+//! Flags: `--seeds K` (default 5), `--quick`, `--csv PATH`.
+
+use ssr_bench::Args;
+use ssr_core::bootstrap::{make_ssr_nodes, run_linearized_bootstrap, BootstrapConfig};
+use ssr_core::routing::{RoutingStats, RoutingView};
+use ssr_graph::algo;
+use ssr_sim::{LinkConfig, Simulator, Time};
+use ssr_types::Rng;
+use ssr_workloads::{parallel_map, scenario::traffic_pairs, Summary, Table, Topology};
+
+fn main() {
+    let args = Args::parse();
+    let seeds: u64 = args.get("seeds", 5);
+    let sizes: Vec<usize> = if args.quick() {
+        vec![50, 100]
+    } else {
+        vec![50, 100, 200, 400]
+    };
+
+    let mut table = Table::new(
+        "E7: greedy routing after the linearized bootstrap (unit-disk)",
+        &[
+            "n",
+            "phase",
+            "success rate",
+            "virt hops (mean)",
+            "stretch (mean)",
+        ],
+    );
+
+    for &n in &sizes {
+        let topo = Topology::UnitDisk { n, scale: 1.3 };
+        let inputs: Vec<u64> = (0..seeds).collect();
+        let results = parallel_map(inputs, ssr_workloads::sweep::default_workers(), |&seed| {
+            let (g, labels) = topo.instance(seed.wrapping_mul(7919) ^ n as u64);
+            let mut cfg = BootstrapConfig::default();
+            cfg.seed = seed;
+            cfg.max_ticks = 300_000;
+            // mid-convergence snapshot: run the same system for only a few
+            // ticks and measure routability
+            let mut early_sim = Simulator::new(
+                g.clone(),
+                make_ssr_nodes(&labels, cfg.ssr),
+                LinkConfig::ideal(),
+                seed,
+            );
+            early_sim.run_until(Time(6));
+            let (report, sim) = run_linearized_bootstrap(&g, &labels, &cfg);
+            assert!(report.converged, "bootstrap failed for n={n} seed={seed}");
+            let mut rng = Rng::new(seed ^ 0xABCD);
+            let pairs = traffic_pairs(n, 10 * n, &mut rng);
+            let mut full = RoutingStats::default();
+            let mut early = RoutingStats::default();
+            let view = RoutingView::new(sim.protocols());
+            let early_view = RoutingView::new(early_sim.protocols());
+            for &(a, b) in &pairs {
+                let (src, dst) = (labels.id(a), labels.id(b));
+                let shortest = algo::bfs_distances(&g, a)[b];
+                full.record(view.route(src, dst, 4 * n as u32), shortest);
+                early.record(early_view.route(src, dst, 4 * n as u32), shortest);
+            }
+            (full, early)
+        });
+        let agg = |get: &dyn Fn(&(RoutingStats, RoutingStats)) -> RoutingStats, phase: &str, table: &mut Table| {
+            let srs: Vec<f64> = results.iter().map(|r| get(r).success_rate() * 100.0).collect();
+            let hops: Vec<f64> = results.iter().map(|r| get(r).mean_virtual_hops()).collect();
+            let stretch: Vec<f64> = results.iter().map(|r| get(r).stretch()).collect();
+            table.row(&[
+                n.to_string(),
+                phase.into(),
+                format!("{:.1}%", Summary::of(&srs).mean),
+                format!("{:.2}", Summary::of(&hops).mean),
+                format!("{:.2}", Summary::of(&stretch).mean),
+            ]);
+        };
+        agg(&|r| r.0, "converged", &mut table);
+        agg(&|r| r.1, "t = 6 (mid-bootstrap)", &mut table);
+    }
+
+    table.print();
+    println!("\npaper claim: 100% delivery once the ring is globally consistent; the");
+    println!("mid-bootstrap row shows the guarantee comes from consistency, not chance.");
+    if let Some(path) = args.csv() {
+        table.to_csv(path).expect("csv");
+        println!("(csv written to {path})");
+    }
+}

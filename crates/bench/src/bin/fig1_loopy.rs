@@ -1,0 +1,174 @@
+//! **E1 — Figure 1: the loopy state.**
+//!
+//! The paper's Figure 1 shows a virtual ring over the addresses
+//! {1, 4, 9, 13, 18, 21, 25, 29} that is *locally* consistent — every node
+//! has exactly one successor and one predecessor — yet winds the address
+//! space twice: 1 → 9 → 18 → 25 → 4 → 13 → 21 → 29 → 1. Read on the line
+//! instead, the inconsistency becomes locally visible: nodes 1 and 4 have
+//! two right neighbors, nodes 21 and 25 two left neighbors.
+//!
+//! This binary reproduces the figure operationally. The physical topology
+//! *is* the doubly-wound cycle and the loopy pointers are injected as the
+//! initial condition (the self-stabilization setting — each loopy successor
+//! is the clockwise-closest physical neighbor, so the state is a genuine
+//! flood-free fixpoint):
+//!
+//! 1. **ISPRP without the flood** — stays loopy forever (local consistency
+//!    cannot detect the winding);
+//! 2. **ISPRP with the representative flood** — detects and unwinds it;
+//! 3. **linearized SSR** — resolves it with *zero* flood messages.
+//!
+//! Run: `cargo run --release -p ssr-bench --bin fig1_loopy [-- --csv out.csv]`
+
+use ssr_bench::Args;
+use ssr_core::bootstrap::{isprp_shape, make_isprp_nodes, run_linearized_bootstrap, BootstrapConfig};
+use ssr_core::consistency::{classify_succ_map, RingShape};
+use ssr_core::isprp::IsprpConfig;
+use ssr_graph::{Graph, Labeling};
+use ssr_sim::{LinkConfig, Simulator};
+use ssr_types::NodeId;
+use ssr_workloads::Table;
+
+/// Figure 1's addresses.
+const IDS: [u64; 8] = [1, 4, 9, 13, 18, 21, 25, 29];
+/// Figure 1's loopy successor order (indices into `IDS`).
+const LOOPY_ORDER: [usize; 8] = [0, 2, 4, 6, 1, 3, 5, 7]; // 1,9,18,25,4,13,21,29
+
+fn loopy_world() -> (Graph, Labeling) {
+    // physical cycle in the loopy order: 1–9–18–25–4–13–21–29–1
+    let mut g = Graph::new(8);
+    for i in 0..8 {
+        g.add_edge(LOOPY_ORDER[i], LOOPY_ORDER[(i + 1) % 8]);
+    }
+    let labels = Labeling::from_ids(IDS.iter().map(|&i| NodeId(i)).collect());
+    (g, labels)
+}
+
+/// Injects the doubly-wound successor pointers (each node's loopy successor
+/// is its clockwise-closest physical neighbor, so the state is a fixpoint of
+/// flood-free ISPRP).
+fn inject_loopy(nodes: &mut [ssr_core::isprp::IsprpNode], labels: &Labeling) {
+    for i in 0..8 {
+        let a = NodeId(IDS[LOOPY_ORDER[i]]);
+        let b = NodeId(IDS[LOOPY_ORDER[(i + 1) % 8]]);
+        let ia = labels.index(a).unwrap();
+        nodes[ia].inject_succ(ssr_core::route::SourceRoute::direct(a, b));
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let (topo, labels) = loopy_world();
+
+    println!("Figure 1 reproduction — the loopy state");
+    println!("addresses: {IDS:?}");
+    println!("physical cycle (= initial virtual ring): 1–9–18–25–4–13–21–29–1\n");
+
+    let mut table = Table::new(
+        "E1: resolving the loopy state",
+        &["mechanism", "converged", "final shape", "ticks", "flood msgs", "total msgs"],
+    );
+
+    // -- ISPRP without flood ---------------------------------------------------
+    // The loopy state is *injected* as the starting condition (the
+    // self-stabilization setting: it may arise from a network merge or
+    // stale state). Injection must precede the first protocol action —
+    // otherwise transient hello-phase claims can leak cross-winding
+    // knowledge through redirects and dissolve the loop by accident.
+    {
+        let cfg = IsprpConfig {
+            enable_flood: false,
+            ..IsprpConfig::default()
+        };
+        let mut nodes = make_isprp_nodes(&labels, cfg);
+        inject_loopy(&mut nodes, &labels);
+        let mut sim = Simulator::new(topo.clone(), nodes, LinkConfig::ideal(), 1);
+        sim.run_until(ssr_sim::Time(5_000));
+        let shape = isprp_shape(sim.protocols());
+        let succ: std::collections::BTreeMap<NodeId, NodeId> = sim
+            .protocols()
+            .iter()
+            .filter_map(|p| p.succ().map(|s| (p.id(), s)))
+            .collect();
+        println!("ISPRP (no flood) successor pointers after 5000 ticks:");
+        for (a, b) in &succ {
+            println!("  {a} → {b}");
+        }
+        println!("  shape: {:?}  (locally consistent, globally loopy)\n", shape);
+        assert_eq!(classify_succ_map(&succ), RingShape::Loopy(2), "expected the doubly-wound ring to persist");
+        table.row(&[
+            "ISPRP, no flood".into(),
+            "no".into(),
+            format!("{shape:?}"),
+            "5000+".into(),
+            sim.metrics().counter("msg.flood").to_string(),
+            sim.metrics().counter("tx.total").to_string(),
+        ]);
+    }
+
+    // -- ISPRP with flood (same injected loopy start) ----------------------------
+    {
+        let cfg = IsprpConfig::default();
+        let mut nodes = make_isprp_nodes(&labels, cfg);
+        inject_loopy(&mut nodes, &labels);
+        let mut sim = Simulator::new(topo.clone(), nodes, LinkConfig::ideal(), 1);
+        let outcome = sim.run_until_stable(8, 20_000, |nodes, _| {
+            isprp_shape(nodes) == RingShape::ConsistentRing
+        });
+        let shape = isprp_shape(sim.protocols());
+        println!(
+            "ISPRP (with flood): {shape:?} at t={} (flood msgs: {})",
+            outcome.time().ticks(),
+            sim.metrics().counter("msg.flood")
+        );
+        assert_eq!(shape, RingShape::ConsistentRing);
+        table.row(&[
+            "ISPRP + flood".into(),
+            "yes".into(),
+            format!("{shape:?}"),
+            outcome.time().ticks().to_string(),
+            sim.metrics().counter("msg.flood").to_string(),
+            sim.metrics().counter("tx.total").to_string(),
+        ]);
+    }
+
+    // -- linearized SSR -----------------------------------------------------------
+    {
+        let mut cfg = BootstrapConfig::default();
+        cfg.max_ticks = 20_000;
+        let (report, sim) = run_linearized_bootstrap(&topo, &labels, &cfg);
+        println!(
+            "linearized SSR: converged={} at t={} with zero floods",
+            report.converged, report.ticks
+        );
+        println!("final ring (successor walk from node 1):");
+        let mut cur = NodeId(1);
+        for _ in 0..8 {
+            let node = sim.protocols().iter().find(|p| p.id() == cur).unwrap();
+            let next = node.ring_succ().unwrap();
+            println!("  {cur} → {next}");
+            cur = next;
+        }
+        assert!(report.converged);
+        assert_eq!(
+            report.messages.iter().find(|(k, _)| k == "msg.flood"),
+            None,
+            "the linearized bootstrap must not flood"
+        );
+        table.row(&[
+            "linearized SSR".into(),
+            "yes".into(),
+            format!("{:?}", report.consistency.shape),
+            report.ticks.to_string(),
+            "0".into(),
+            report.total_messages.to_string(),
+        ]);
+    }
+
+    println!();
+    table.print();
+    if let Some(path) = args.csv() {
+        table.to_csv(path).expect("csv");
+        println!("(csv written to {path})");
+    }
+}

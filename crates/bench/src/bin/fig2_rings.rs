@@ -1,0 +1,164 @@
+//! **E2 — Figure 2: separate rings.**
+//!
+//! The paper's Figure 2 shows nodes {1, 9, 18} and {4, 13, 21} forming two
+//! *disjoint* virtual rings — a second class of global inconsistency that
+//! local ring maintenance cannot detect: every node has exactly one
+//! successor and one predecessor, all claims are locally consistent, yet
+//! the virtual graph is partitioned even though the physical network is
+//! connected.
+//!
+//! Construction: two physical triangles bridged by the single link 18–4
+//! (chosen so that *neither* bridge endpoint sees a better successor across
+//! the bridge — the disjoint rings are then a genuine fixpoint of
+//! flood-free ISPRP). The two-ring state is injected, then:
+//!
+//! 1. **ISPRP without flood** — the two rings persist forever;
+//! 2. **ISPRP with flood** — the representative (21) floods, ring A's
+//!    members claim toward it, and the rings merge;
+//! 3. **linearized SSR** — merges them with zero floods: linearization
+//!    "preserves the connectedness of the input graph", so a connected
+//!    physical network can never stay partitioned.
+//!
+//! Run: `cargo run --release -p ssr-bench --bin fig2_rings [-- --csv out.csv]`
+
+use ssr_bench::Args;
+use ssr_core::bootstrap::{isprp_shape, make_isprp_nodes, run_linearized_bootstrap, BootstrapConfig};
+use ssr_core::consistency::RingShape;
+use ssr_core::isprp::IsprpConfig;
+use ssr_core::route::SourceRoute;
+use ssr_graph::{Graph, Labeling};
+use ssr_sim::{LinkConfig, Simulator};
+use ssr_types::NodeId;
+use ssr_workloads::Table;
+
+/// Figure 2's addresses: ring A = {1, 9, 18}, ring B = {4, 13, 21}.
+const IDS: [u64; 6] = [1, 9, 18, 4, 13, 21];
+
+fn world() -> (Graph, Labeling) {
+    let mut g = Graph::new(6);
+    // triangle A: indices 0(1), 1(9), 2(18)
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 0);
+    // triangle B: indices 3(4), 4(13), 5(21)
+    g.add_edge(3, 4);
+    g.add_edge(4, 5);
+    g.add_edge(5, 3);
+    // the bridge 18–4 (see header for why this pair)
+    g.add_edge(2, 3);
+    let labels = Labeling::from_ids(IDS.iter().map(|&i| NodeId(i)).collect());
+    (g, labels)
+}
+
+/// Injects the two disjoint virtual rings into freshly initialized ISPRP
+/// nodes: 1→9→18→1 and 4→13→21→4 (routes are the triangle links).
+fn inject_two_rings(sim: &mut Simulator<ssr_core::isprp::IsprpNode>, labels: &Labeling) {
+    let ring_succ: [(u64, u64); 6] = [(1, 9), (9, 18), (18, 1), (4, 13), (13, 21), (21, 4)];
+    for (a, b) in ring_succ {
+        let ia = labels.index(NodeId(a)).unwrap();
+        sim.protocol_mut(ia)
+            .inject_succ(SourceRoute::direct(NodeId(a), NodeId(b)));
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let (topo, labels) = world();
+
+    println!("Figure 2 reproduction — separate rings over a connected physical network");
+    println!("ring A: 1→9→18→1   ring B: 4→13→21→4   bridge: 18–4\n");
+
+    let mut table = Table::new(
+        "E2: merging separate rings",
+        &["mechanism", "converged", "final shape", "ticks", "flood msgs", "total msgs"],
+    );
+
+    // -- ISPRP without flood -------------------------------------------------------
+    {
+        let cfg = IsprpConfig {
+            enable_flood: false,
+            ..IsprpConfig::default()
+        };
+        let nodes = make_isprp_nodes(&labels, cfg);
+        let mut sim = Simulator::new(topo.clone(), nodes, LinkConfig::ideal(), 1);
+        inject_two_rings(&mut sim, &labels);
+        sim.run_until(ssr_sim::Time(5_000));
+        let shape = isprp_shape(sim.protocols());
+        println!("ISPRP (no flood) after 5000 ticks: {shape:?}");
+        for p in sim.protocols() {
+            println!("  {} → {:?}", p.id(), p.succ());
+        }
+        println!();
+        assert_eq!(shape, RingShape::Partitioned(2), "expected the two rings to persist");
+        table.row(&[
+            "ISPRP, no flood".into(),
+            "no".into(),
+            format!("{shape:?}"),
+            "5000+".into(),
+            sim.metrics().counter("msg.flood").to_string(),
+            sim.metrics().counter("tx.total").to_string(),
+        ]);
+    }
+
+    // -- ISPRP with flood --------------------------------------------------------------
+    {
+        let cfg = IsprpConfig::default();
+        let nodes = make_isprp_nodes(&labels, cfg);
+        let mut sim = Simulator::new(topo.clone(), nodes, LinkConfig::ideal(), 1);
+        inject_two_rings(&mut sim, &labels);
+        let outcome = sim.run_until_stable(8, 20_000, |nodes, _| {
+            isprp_shape(nodes) == RingShape::ConsistentRing
+        });
+        let shape = isprp_shape(sim.protocols());
+        println!(
+            "ISPRP (with flood): {shape:?} at t={} (flood msgs: {})",
+            outcome.time().ticks(),
+            sim.metrics().counter("msg.flood")
+        );
+        assert_eq!(shape, RingShape::ConsistentRing);
+        table.row(&[
+            "ISPRP + flood".into(),
+            "yes".into(),
+            format!("{shape:?}"),
+            outcome.time().ticks().to_string(),
+            sim.metrics().counter("msg.flood").to_string(),
+            sim.metrics().counter("tx.total").to_string(),
+        ]);
+    }
+
+    // -- linearized SSR -------------------------------------------------------------------
+    {
+        let mut cfg = BootstrapConfig::default();
+        cfg.max_ticks = 20_000;
+        let (report, sim) = run_linearized_bootstrap(&topo, &labels, &cfg);
+        println!(
+            "linearized SSR: converged={} at t={} with zero floods",
+            report.converged, report.ticks
+        );
+        println!("final ring (successor walk from node 1):");
+        let mut cur = NodeId(1);
+        for _ in 0..6 {
+            let node = sim.protocols().iter().find(|p| p.id() == cur).unwrap();
+            let next = node.ring_succ().unwrap();
+            println!("  {cur} → {next}");
+            cur = next;
+        }
+        assert!(report.converged);
+        assert_eq!(report.messages.iter().find(|(k, _)| k == "msg.flood"), None);
+        table.row(&[
+            "linearized SSR".into(),
+            "yes".into(),
+            format!("{:?}", report.consistency.shape),
+            report.ticks.to_string(),
+            "0".into(),
+            report.total_messages.to_string(),
+        ]);
+    }
+
+    println!();
+    table.print();
+    if let Some(path) = args.csv() {
+        table.to_csv(path).expect("csv");
+        println!("(csv written to {path})");
+    }
+}

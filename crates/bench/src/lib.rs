@@ -1,0 +1,111 @@
+//! Shared helpers for the experiment binaries.
+//!
+//! Each binary under `src/bin/` regenerates one figure or table of the
+//! reproduction (see DESIGN.md's experiment index). They share a minimal
+//! command-line convention:
+//!
+//! * `--seeds K` — repetitions per sweep point (default per experiment),
+//! * `--csv PATH` — additionally write the table as CSV,
+//! * `--quick` — smaller sweep for smoke-testing,
+//! * experiment-specific flags documented in each binary's header.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Parsed command-line arguments (flag / key-value convention).
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments.
+    pub fn parse() -> Args {
+        Args {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Builds from an explicit list (tests).
+    pub fn from(raw: &[&str]) -> Args {
+        Args {
+            raw: raw.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// `true` if `--name` is present.
+    pub fn flag(&self, name: &str) -> bool {
+        let want = format!("--{name}");
+        self.raw.iter().any(|a| a == &want)
+    }
+
+    /// The value following `--name`, if present.
+    pub fn opt(&self, name: &str) -> Option<&str> {
+        let want = format!("--{name}");
+        self.raw
+            .iter()
+            .position(|a| a == &want)
+            .and_then(|i| self.raw.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    /// Parses the value following `--name`.
+    ///
+    /// # Panics
+    /// Panics with a readable message when the value does not parse.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        match self.opt(name) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|e| panic!("--{name} {v}: {e:?}")),
+        }
+    }
+
+    /// CSV output path, if requested.
+    pub fn csv(&self) -> Option<&str> {
+        self.opt("csv")
+    }
+
+    /// Quick (smoke-test) mode.
+    pub fn quick(&self) -> bool {
+        self.flag("quick")
+    }
+}
+
+/// Formats a large count with thousands separators for readability.
+pub fn fmt_count(x: u64) -> String {
+    let s = x.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push('_');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_and_options() {
+        let a = Args::from(&["--quick", "--seeds", "5", "--csv", "/tmp/x.csv"]);
+        assert!(a.quick());
+        assert!(!a.flag("missing"));
+        assert_eq!(a.get("seeds", 10usize), 5);
+        assert_eq!(a.get("other", 7u64), 7);
+        assert_eq!(a.csv(), Some("/tmp/x.csv"));
+    }
+
+    #[test]
+    fn fmt_count_groups() {
+        assert_eq!(fmt_count(1), "1");
+        assert_eq!(fmt_count(1234), "1_234");
+        assert_eq!(fmt_count(1234567), "1_234_567");
+    }
+}

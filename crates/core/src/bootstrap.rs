@@ -1,0 +1,278 @@
+//! One-call experiment drivers: build a simulator over a labeled topology,
+//! run a bootstrap protocol to convergence, and report what it cost.
+
+use ssr_graph::{Graph, Labeling};
+use ssr_sim::{LinkConfig, Simulator};
+use ssr_types::NodeId;
+
+use crate::consistency::{self, ConsistencyReport, RingShape};
+use crate::isprp::{IsprpConfig, IsprpNode};
+use crate::node::{SsrConfig, SsrNode};
+
+/// Common experiment configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BootstrapConfig {
+    /// Link model.
+    pub link: LinkConfig,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Give up after this many ticks.
+    pub max_ticks: u64,
+    /// Consistency-check cadence.
+    pub check_every: u64,
+    /// SSR protocol tuning (linearized runs).
+    pub ssr: SsrConfig,
+    /// ISPRP protocol tuning (baseline runs).
+    pub isprp: IsprpConfig,
+}
+
+impl Default for BootstrapConfig {
+    fn default() -> Self {
+        BootstrapConfig {
+            link: LinkConfig::ideal(),
+            seed: 0,
+            max_ticks: 100_000,
+            check_every: 8,
+            ssr: SsrConfig::default(),
+            isprp: IsprpConfig::default(),
+        }
+    }
+}
+
+/// What a bootstrap run cost and achieved.
+#[derive(Clone, Debug)]
+pub struct BootstrapReport {
+    /// `true` iff global consistency was reached within the budget.
+    pub converged: bool,
+    /// Ticks until convergence (or the budget).
+    pub ticks: u64,
+    /// Per-kind message counts (`msg.*` keys from the simulator).
+    pub messages: Vec<(String, u64)>,
+    /// Total link-layer transmissions.
+    pub total_messages: u64,
+    /// Largest route cache (entries) across nodes at the end.
+    pub max_state: usize,
+    /// Mean route-cache entries per node at the end.
+    pub mean_state: f64,
+    /// Final consistency classification (linearized runs; for ISPRP only
+    /// `shape` is meaningful).
+    pub consistency: ConsistencyReport,
+}
+
+impl BootstrapReport {
+    fn from_metrics(
+        converged: bool,
+        ticks: u64,
+        metrics: &ssr_sim::Metrics,
+        states: impl Iterator<Item = usize>,
+        consistency: ConsistencyReport,
+    ) -> Self {
+        let messages: Vec<(String, u64)> = metrics
+            .counters()
+            .filter(|(k, _)| k.starts_with("msg."))
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        let total_messages = metrics.counter("tx.total");
+        let mut max_state = 0usize;
+        let mut sum = 0usize;
+        let mut count = 0usize;
+        for s in states {
+            max_state = max_state.max(s);
+            sum += s;
+            count += 1;
+        }
+        BootstrapReport {
+            converged,
+            ticks,
+            messages,
+            total_messages,
+            max_state,
+            mean_state: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+            consistency,
+        }
+    }
+}
+
+/// Builds the linearized-SSR node set for a labeled topology.
+pub fn make_ssr_nodes(labels: &Labeling, config: SsrConfig) -> Vec<SsrNode> {
+    labels
+        .ids()
+        .iter()
+        .map(|&id| SsrNode::with_config(id, config))
+        .collect()
+}
+
+/// Builds the ISPRP node set for a labeled topology.
+pub fn make_isprp_nodes(labels: &Labeling, config: IsprpConfig) -> Vec<IsprpNode> {
+    labels
+        .ids()
+        .iter()
+        .map(|&id| IsprpNode::with_config(id, config))
+        .collect()
+}
+
+/// Runs the **linearized** bootstrap (the paper's contribution) to global
+/// ring consistency. Returns the report and the simulator (for follow-up
+/// routing experiments over the converged state).
+pub fn run_linearized_bootstrap(
+    topo: &Graph,
+    labels: &Labeling,
+    cfg: &BootstrapConfig,
+) -> (BootstrapReport, Simulator<SsrNode>) {
+    assert_eq!(topo.node_count(), labels.len());
+    let nodes = make_ssr_nodes(labels, cfg.ssr);
+    let mut sim = Simulator::new(topo.clone(), nodes, cfg.link, cfg.seed);
+    let outcome = sim.run_until_stable(cfg.check_every, cfg.max_ticks, |nodes, _| {
+        consistency::check_ring(nodes).consistent()
+    });
+    let report = consistency::check_ring(sim.protocols());
+    let converged = report.consistent();
+    let ticks = outcome.time().ticks();
+    let report = BootstrapReport::from_metrics(
+        converged,
+        ticks,
+        sim.metrics(),
+        sim.protocols().iter().map(|n| n.cache().len()),
+        report,
+    );
+    (report, sim)
+}
+
+/// Runs the **ISPRP + representative flood** baseline to global ring
+/// consistency (single all-node successor cycle).
+pub fn run_isprp_bootstrap(
+    topo: &Graph,
+    labels: &Labeling,
+    cfg: &BootstrapConfig,
+) -> (BootstrapReport, Simulator<IsprpNode>) {
+    assert_eq!(topo.node_count(), labels.len());
+    let nodes = make_isprp_nodes(labels, cfg.isprp);
+    let mut sim = Simulator::new(topo.clone(), nodes, cfg.link, cfg.seed);
+    let outcome = sim.run_until_stable(cfg.check_every, cfg.max_ticks, |nodes, _| {
+        isprp_consistent(nodes)
+    });
+    let shape = isprp_shape(sim.protocols());
+    let converged = shape == RingShape::ConsistentRing;
+    let n = sim.protocols().len();
+    let consistency = ConsistencyReport {
+        locally_consistent_nodes: sim
+            .protocols()
+            .iter()
+            .filter(|p| p.locally_consistent())
+            .count(),
+        nodes: n,
+        line_formed: false,
+        ring_closed: converged,
+        shape,
+    };
+    let ticks = outcome.time().ticks();
+    let report = BootstrapReport::from_metrics(
+        converged,
+        ticks,
+        sim.metrics(),
+        sim.protocols().iter().map(|p| p.cache().len()),
+        consistency,
+    );
+    (report, sim)
+}
+
+/// The ISPRP convergence predicate: successor pointers form one
+/// address-ordered cycle over all nodes.
+pub fn isprp_consistent(nodes: &[IsprpNode]) -> bool {
+    isprp_shape(nodes) == RingShape::ConsistentRing
+}
+
+/// Classifies the ISPRP successor structure.
+pub fn isprp_shape(nodes: &[IsprpNode]) -> RingShape {
+    if nodes.len() <= 1 {
+        return RingShape::ConsistentRing;
+    }
+    let succ: std::collections::BTreeMap<NodeId, NodeId> = nodes
+        .iter()
+        .filter_map(|p| p.succ().map(|s| (p.id(), s)))
+        .collect();
+    if succ.len() < nodes.len() {
+        return RingShape::Incomplete;
+    }
+    consistency::classify_succ_map(&succ)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_graph::generators;
+    use ssr_types::Rng;
+
+    fn topo_and_labels(n: usize, seed: u64) -> (Graph, Labeling) {
+        let mut rng = Rng::new(seed);
+        let (g, _) = generators::unit_disk_connected(n, 1.3, &mut rng);
+        let labels = Labeling::random(n, &mut rng);
+        (g, labels)
+    }
+
+    #[test]
+    fn linearized_bootstrap_converges_on_a_line_topology() {
+        let topo = generators::line(6);
+        let labels = Labeling::sequential(6, 10);
+        let (report, _) = run_linearized_bootstrap(&topo, &labels, &BootstrapConfig::default());
+        assert!(report.converged, "{report:?}");
+        assert_eq!(report.consistency.shape, RingShape::ConsistentRing);
+        assert_eq!(report.messages.iter().find(|(k, _)| k == "msg.flood"), None);
+    }
+
+    #[test]
+    fn linearized_bootstrap_converges_on_unit_disk() {
+        for seed in 0..3 {
+            let (topo, labels) = topo_and_labels(40, seed);
+            let (report, _) =
+                run_linearized_bootstrap(&topo, &labels, &BootstrapConfig::default());
+            assert!(report.converged, "seed {seed}: {report:?}");
+            assert!(report.total_messages > 0);
+            assert!(report.max_state >= 2);
+        }
+    }
+
+    #[test]
+    fn linearized_bootstrap_never_floods() {
+        let (topo, labels) = topo_and_labels(30, 7);
+        let (report, _) = run_linearized_bootstrap(&topo, &labels, &BootstrapConfig::default());
+        assert!(report.converged);
+        assert!(!report.messages.iter().any(|(k, _)| k == "msg.flood"));
+    }
+
+    #[test]
+    fn isprp_bootstrap_converges_with_flood() {
+        for seed in 0..3 {
+            let (topo, labels) = topo_and_labels(30, 100 + seed);
+            let (report, _) = run_isprp_bootstrap(&topo, &labels, &BootstrapConfig::default());
+            assert!(report.converged, "seed {seed}: {report:?}");
+            // the flood must have happened
+            assert!(
+                report.messages.iter().any(|(k, v)| k == "msg.flood" && *v > 0),
+                "no flood messages: {:?}",
+                report.messages
+            );
+        }
+    }
+
+    #[test]
+    fn two_node_network_closes_its_ring() {
+        let topo = generators::line(2);
+        let labels = Labeling::sequential(2, 5);
+        let (report, sim) = run_linearized_bootstrap(&topo, &labels, &BootstrapConfig::default());
+        assert!(report.converged, "{report:?}");
+        let a = &sim.protocols()[0];
+        let b = &sim.protocols()[1];
+        assert_eq!(a.ring_succ(), Some(b.id()));
+        assert_eq!(b.ring_succ(), Some(a.id()));
+    }
+
+    #[test]
+    fn single_node_is_trivially_consistent() {
+        let topo = Graph::new(1);
+        let labels = Labeling::sequential(1, 1);
+        let (report, _) = run_linearized_bootstrap(&topo, &labels, &BootstrapConfig::default());
+        assert!(report.converged);
+        assert_eq!(report.ticks, 0);
+    }
+}

@@ -1,0 +1,448 @@
+//! Protocol messages shared by the linearized SSR bootstrap and the ISPRP
+//! baseline, plus a binary wire codec (bench B6 measures realistic header
+//! cost — source routes travel in packet headers).
+//!
+//! Transport model: [`SsrMsg::Hello`] is a link-local broadcast;
+//! [`SsrMsg::Flood`] is the (baseline-only) network flood;
+//! [`SsrMsg::Forward`] is the source-routed envelope that carries every
+//! end-to-end [`Payload`] hop by hop along an explicit route.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ssr_types::wire::{self, DecodeError};
+use ssr_types::{NodeId, SeqNo};
+
+/// Which way a discovery probe travels around the address space.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Clockwise: launched by a node with an empty *left* set, seeking the
+    /// ring's maximum.
+    Cw,
+    /// Counter-clockwise: launched by a node with an empty *right* set,
+    /// seeking the ring's minimum (the paper's redundancy suggestion).
+    Ccw,
+}
+
+/// End-to-end payloads delivered at the final node of a [`ForwardEnvelope`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Payload {
+    /// "Consider `target_route.last()` your virtual neighbor; here is a
+    /// source route to it." The linearization workhorse (Section 4).
+    Notify {
+        /// The node performing the linearization step (v1).
+        initiator: NodeId,
+        /// Route from the *receiver* to the introduced node.
+        target_route: Vec<NodeId>,
+        /// Route from the receiver back to the initiator (for the ACK).
+        reply_route: Vec<NodeId>,
+        /// Handshake correlation.
+        seq: SeqNo,
+    },
+    /// Acknowledgment of a [`Payload::Notify`], back to the initiator.
+    NotifyAck {
+        /// The node the receiver was pointed to.
+        about: NodeId,
+        /// Echoed handshake correlation.
+        seq: SeqNo,
+    },
+    /// "I removed my virtual edge to you — drop yours too" (the tear-down
+    /// acknowledgment of Section 4).
+    Teardown {
+        /// The node that dropped the edge.
+        from: NodeId,
+    },
+    /// Ring-closure probe, greedily routed along the virtual line.
+    Discover {
+        /// The node with the empty neighbor set that launched the probe.
+        origin: NodeId,
+        /// Travel direction.
+        dir: Direction,
+    },
+    /// Ring-closure acceptance, source-routed back to the probe's origin
+    /// along the reversed accumulated trace.
+    CloseRing {
+        /// The accepting extreme (believed max for CW, believed min for
+        /// CCW).
+        acceptor: NodeId,
+        /// Probe direction being answered.
+        dir: Direction,
+        /// The full physical route `origin → acceptor` (pruned trace).
+        route: Vec<NodeId>,
+    },
+    /// ISPRP: "you are my successor" (baseline protocol).
+    SuccNotify {
+        /// The claimant.
+        from: NodeId,
+        /// Route from the receiver back to the claimant.
+        reply_route: Vec<NodeId>,
+    },
+    /// ISPRP: "your successor is `better`, not me" — carries a complete
+    /// source route from the receiver to `better` (the paper's
+    /// `B→A ++ A→C` construction, precomputed by the sender).
+    SuccUpdate {
+        /// The better successor.
+        better: NodeId,
+        /// Route from the receiver to `better`.
+        route_to_better: Vec<NodeId>,
+    },
+    /// An application probe used by the routing experiments: carried
+    /// greedily toward `target`.
+    DataProbe {
+        /// Final virtual destination.
+        target: NodeId,
+        /// Physical hops traveled so far.
+        hops: u32,
+    },
+}
+
+impl Payload {
+    /// Whether envelopes carrying this payload record their physical trace
+    /// (needed by discovery so the closing edge has a source route).
+    pub fn wants_trace(&self) -> bool {
+        matches!(self, Payload::Discover { .. })
+    }
+
+    /// Message kind for metrics (`ssr_sim::Protocol::kind`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Payload::Notify { .. } => "notify",
+            Payload::NotifyAck { .. } => "ack",
+            Payload::Teardown { .. } => "teardown",
+            Payload::Discover { .. } | Payload::CloseRing { .. } => "discover",
+            Payload::SuccNotify { .. } => "succ",
+            Payload::SuccUpdate { .. } => "update",
+            Payload::DataProbe { .. } => "data",
+        }
+    }
+}
+
+/// The source-routed transport envelope.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ForwardEnvelope {
+    /// The explicit route, first entry = originating virtual node, last =
+    /// destination virtual node.
+    pub route: Vec<NodeId>,
+    /// Index of the current holder within `route`.
+    pub pos: usize,
+    /// Accumulated physical trace since the original initiator (only
+    /// maintained when `payload.wants_trace()`).
+    pub trace: Vec<NodeId>,
+    /// The end-to-end content.
+    pub payload: Payload,
+}
+
+/// All messages exchanged by the SSR protocols.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SsrMsg {
+    /// Link-local neighbor discovery: "my address is `id`".
+    Hello {
+        /// Sender's address.
+        id: NodeId,
+    },
+    /// Source-routed transport.
+    Forward(ForwardEnvelope),
+    /// Network flood used by the ISPRP baseline's representative mechanism
+    /// (this is exactly the message class linearization eliminates).
+    Flood {
+        /// The flood's origin (the self-believed representative).
+        origin: NodeId,
+        /// Physical trace from the origin to the current holder.
+        trace: Vec<NodeId>,
+    },
+}
+
+impl SsrMsg {
+    /// Metrics kind (see `ssr_sim`'s per-kind counters).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SsrMsg::Hello { .. } => "hello",
+            SsrMsg::Forward(env) => env.payload.kind(),
+            SsrMsg::Flood { .. } => "flood",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec
+// ---------------------------------------------------------------------------
+
+const TAG_HELLO: u8 = 0;
+const TAG_FORWARD: u8 = 1;
+const TAG_FLOOD: u8 = 2;
+
+const PTAG_NOTIFY: u8 = 0;
+const PTAG_NOTIFY_ACK: u8 = 1;
+const PTAG_TEARDOWN: u8 = 2;
+const PTAG_DISCOVER: u8 = 3;
+const PTAG_CLOSE_RING: u8 = 4;
+const PTAG_SUCC_NOTIFY: u8 = 5;
+const PTAG_SUCC_UPDATE: u8 = 6;
+const PTAG_DATA_PROBE: u8 = 7;
+
+fn put_dir(buf: &mut BytesMut, dir: Direction) {
+    buf.put_u8(match dir {
+        Direction::Cw => 0,
+        Direction::Ccw => 1,
+    });
+}
+
+fn get_dir(buf: &mut Bytes) -> Result<Direction, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError { context: "direction" });
+    }
+    match buf.get_u8() {
+        0 => Ok(Direction::Cw),
+        1 => Ok(Direction::Ccw),
+        _ => Err(DecodeError { context: "direction tag" }),
+    }
+}
+
+/// Encodes a message into `buf`.
+pub fn encode(msg: &SsrMsg, buf: &mut BytesMut) {
+    match msg {
+        SsrMsg::Hello { id } => {
+            buf.put_u8(TAG_HELLO);
+            wire::put_node_id(buf, *id);
+        }
+        SsrMsg::Forward(env) => {
+            buf.put_u8(TAG_FORWARD);
+            wire::put_id_list(buf, &env.route);
+            buf.put_u32(env.pos as u32);
+            wire::put_id_list(buf, &env.trace);
+            encode_payload(&env.payload, buf);
+        }
+        SsrMsg::Flood { origin, trace } => {
+            buf.put_u8(TAG_FLOOD);
+            wire::put_node_id(buf, *origin);
+            wire::put_id_list(buf, trace);
+        }
+    }
+}
+
+fn encode_payload(p: &Payload, buf: &mut BytesMut) {
+    match p {
+        Payload::Notify {
+            initiator,
+            target_route,
+            reply_route,
+            seq,
+        } => {
+            buf.put_u8(PTAG_NOTIFY);
+            wire::put_node_id(buf, *initiator);
+            wire::put_id_list(buf, target_route);
+            wire::put_id_list(buf, reply_route);
+            wire::put_seq(buf, *seq);
+        }
+        Payload::NotifyAck { about, seq } => {
+            buf.put_u8(PTAG_NOTIFY_ACK);
+            wire::put_node_id(buf, *about);
+            wire::put_seq(buf, *seq);
+        }
+        Payload::Teardown { from } => {
+            buf.put_u8(PTAG_TEARDOWN);
+            wire::put_node_id(buf, *from);
+        }
+        Payload::Discover { origin, dir } => {
+            buf.put_u8(PTAG_DISCOVER);
+            wire::put_node_id(buf, *origin);
+            put_dir(buf, *dir);
+        }
+        Payload::CloseRing { acceptor, dir, route } => {
+            buf.put_u8(PTAG_CLOSE_RING);
+            wire::put_node_id(buf, *acceptor);
+            put_dir(buf, *dir);
+            wire::put_id_list(buf, route);
+        }
+        Payload::SuccNotify { from, reply_route } => {
+            buf.put_u8(PTAG_SUCC_NOTIFY);
+            wire::put_node_id(buf, *from);
+            wire::put_id_list(buf, reply_route);
+        }
+        Payload::SuccUpdate { better, route_to_better } => {
+            buf.put_u8(PTAG_SUCC_UPDATE);
+            wire::put_node_id(buf, *better);
+            wire::put_id_list(buf, route_to_better);
+        }
+        Payload::DataProbe { target, hops } => {
+            buf.put_u8(PTAG_DATA_PROBE);
+            wire::put_node_id(buf, *target);
+            buf.put_u32(*hops);
+        }
+    }
+}
+
+/// Decodes a message from `buf`.
+pub fn decode(buf: &mut Bytes) -> Result<SsrMsg, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError { context: "message tag" });
+    }
+    match buf.get_u8() {
+        TAG_HELLO => Ok(SsrMsg::Hello {
+            id: wire::get_node_id(buf)?,
+        }),
+        TAG_FORWARD => {
+            let route = wire::get_id_list(buf)?;
+            if buf.remaining() < 4 {
+                return Err(DecodeError { context: "envelope position" });
+            }
+            let pos = buf.get_u32() as usize;
+            let trace = wire::get_id_list(buf)?;
+            let payload = decode_payload(buf)?;
+            Ok(SsrMsg::Forward(ForwardEnvelope {
+                route,
+                pos,
+                trace,
+                payload,
+            }))
+        }
+        TAG_FLOOD => Ok(SsrMsg::Flood {
+            origin: wire::get_node_id(buf)?,
+            trace: wire::get_id_list(buf)?,
+        }),
+        _ => Err(DecodeError { context: "message tag value" }),
+    }
+}
+
+fn decode_payload(buf: &mut Bytes) -> Result<Payload, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError { context: "payload tag" });
+    }
+    match buf.get_u8() {
+        PTAG_NOTIFY => Ok(Payload::Notify {
+            initiator: wire::get_node_id(buf)?,
+            target_route: wire::get_id_list(buf)?,
+            reply_route: wire::get_id_list(buf)?,
+            seq: wire::get_seq(buf)?,
+        }),
+        PTAG_NOTIFY_ACK => Ok(Payload::NotifyAck {
+            about: wire::get_node_id(buf)?,
+            seq: wire::get_seq(buf)?,
+        }),
+        PTAG_TEARDOWN => Ok(Payload::Teardown {
+            from: wire::get_node_id(buf)?,
+        }),
+        PTAG_DISCOVER => Ok(Payload::Discover {
+            origin: wire::get_node_id(buf)?,
+            dir: get_dir(buf)?,
+        }),
+        PTAG_CLOSE_RING => Ok(Payload::CloseRing {
+            acceptor: wire::get_node_id(buf)?,
+            dir: get_dir(buf)?,
+            route: wire::get_id_list(buf)?,
+        }),
+        PTAG_SUCC_NOTIFY => Ok(Payload::SuccNotify {
+            from: wire::get_node_id(buf)?,
+            reply_route: wire::get_id_list(buf)?,
+        }),
+        PTAG_SUCC_UPDATE => Ok(Payload::SuccUpdate {
+            better: wire::get_node_id(buf)?,
+            route_to_better: wire::get_id_list(buf)?,
+        }),
+        PTAG_DATA_PROBE => {
+            let target = wire::get_node_id(buf)?;
+            if buf.remaining() < 4 {
+                return Err(DecodeError { context: "probe hops" });
+            }
+            Ok(Payload::DataProbe {
+                target,
+                hops: buf.get_u32(),
+            })
+        }
+        _ => Err(DecodeError { context: "payload tag value" }),
+    }
+}
+
+/// Encodes into a fresh buffer (convenience for tests and benches).
+pub fn encode_to_bytes(msg: &SsrMsg) -> Bytes {
+    let mut buf = BytesMut::new();
+    encode(msg, &mut buf);
+    buf.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u64]) -> Vec<NodeId> {
+        v.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    fn roundtrip(msg: SsrMsg) {
+        let mut b = encode_to_bytes(&msg);
+        let back = decode(&mut b).expect("decode");
+        assert_eq!(back, msg);
+        assert_eq!(b.remaining(), 0, "trailing bytes");
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        roundtrip(SsrMsg::Hello { id: NodeId(7) });
+    }
+
+    #[test]
+    fn all_payloads_roundtrip() {
+        let payloads = vec![
+            Payload::Notify {
+                initiator: NodeId(1),
+                target_route: ids(&[2, 1, 3]),
+                reply_route: ids(&[2, 1]),
+                seq: SeqNo(9),
+            },
+            Payload::NotifyAck { about: NodeId(3), seq: SeqNo(9) },
+            Payload::Teardown { from: NodeId(1) },
+            Payload::Discover { origin: NodeId(4), dir: Direction::Cw },
+            Payload::Discover { origin: NodeId(4), dir: Direction::Ccw },
+            Payload::CloseRing {
+                acceptor: NodeId(30),
+                dir: Direction::Cw,
+                route: ids(&[4, 9, 30]),
+            },
+            Payload::SuccNotify { from: NodeId(5), reply_route: ids(&[6, 5]) },
+            Payload::SuccUpdate { better: NodeId(8), route_to_better: ids(&[6, 5, 8]) },
+            Payload::DataProbe { target: NodeId(99), hops: 12 },
+        ];
+        for payload in payloads {
+            roundtrip(SsrMsg::Forward(ForwardEnvelope {
+                route: ids(&[1, 2]),
+                pos: 0,
+                trace: if payload.wants_trace() { ids(&[1]) } else { vec![] },
+                payload,
+            }));
+        }
+    }
+
+    #[test]
+    fn flood_roundtrip() {
+        roundtrip(SsrMsg::Flood { origin: NodeId(42), trace: ids(&[42, 3, 5]) });
+    }
+
+    #[test]
+    fn kinds() {
+        assert_eq!(SsrMsg::Hello { id: NodeId(0) }.kind(), "hello");
+        assert_eq!(SsrMsg::Flood { origin: NodeId(0), trace: vec![] }.kind(), "flood");
+        let env = |payload| SsrMsg::Forward(ForwardEnvelope { route: vec![], pos: 0, trace: vec![], payload });
+        assert_eq!(env(Payload::Teardown { from: NodeId(0) }).kind(), "teardown");
+        assert_eq!(env(Payload::Discover { origin: NodeId(0), dir: Direction::Cw }).kind(), "discover");
+        assert_eq!(env(Payload::DataProbe { target: NodeId(0), hops: 0 }).kind(), "data");
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let full = encode_to_bytes(&SsrMsg::Forward(ForwardEnvelope {
+            route: ids(&[1, 2, 3]),
+            pos: 1,
+            trace: vec![],
+            payload: Payload::Teardown { from: NodeId(1) },
+        }));
+        for cut in 0..full.len() {
+            let mut b = full.slice(..cut);
+            assert!(decode(&mut b).is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn only_discover_wants_trace() {
+        assert!(Payload::Discover { origin: NodeId(0), dir: Direction::Cw }.wants_trace());
+        assert!(!Payload::Teardown { from: NodeId(0) }.wants_trace());
+        assert!(!Payload::CloseRing { acceptor: NodeId(0), dir: Direction::Cw, route: vec![] }.wants_trace());
+    }
+}

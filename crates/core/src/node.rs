@@ -1,0 +1,1165 @@
+//! The linearized SSR node — Section 4 of the paper, as a message-level
+//! protocol.
+//!
+//! Upon initialization the virtual edge set is the physical edge set
+//! (`E_v := E_p`, learned through link-local hellos). Each node keeps its
+//! virtual neighbors split into a **left** and a **right** set by linear
+//! address order. Whenever a side holds more than one neighbor, the node
+//! linearizes the two *farthest* on that side (the paper's `v2 < v3` with
+//! all other right neighbors below both): it sends each a *neighbor
+//! notification* carrying a source route to the other, waits for both
+//! acknowledgments, then tears down its own edge to the farthest — whose
+//! route may survive in the route cache as an LSN shortcut. Repeating this
+//! transforms the virtual graph into the sorted line while never
+//! disconnecting it.
+//!
+//! To complete the virtual ring, a node with an empty left set sends a
+//! *clockwise discovery* routed greedily toward ever-larger addresses until
+//! it reaches a node with an empty right set, which accepts and
+//! acknowledges — that edge closes the ring. A node with an empty right set
+//! symmetrically probes counter-clockwise "for sake of redundancy".
+//! Premature closures (a node that merely *believed* itself an extreme) are
+//! self-correcting: discovery claims are themselves linearized — the
+//! acceptor introduces competing claimants to each other, and a node whose
+//! supposedly-empty side gains a neighbor demotes its ring edge and tears
+//! it down.
+//!
+//! **No message in this protocol floods the network.**
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use ssr_sim::{Ctx, Protocol};
+use ssr_types::{IntervalPartition, NodeId, SeqNo};
+
+use crate::cache::RouteCache;
+use crate::message::{Direction, ForwardEnvelope, Payload, SsrMsg};
+use crate::route::SourceRoute;
+
+/// Timer tokens.
+const TOKEN_ACT: u64 = 0;
+const TOKEN_RETRY_LEFT: u64 = 1;
+const TOKEN_RETRY_RIGHT: u64 = 2;
+const TOKEN_DISCOVER: u64 = 3;
+const TOKEN_AUDIT: u64 = 4;
+
+/// Tuning knobs for the linearized bootstrap.
+#[derive(Clone, Copy, Debug)]
+pub struct SsrConfig {
+    /// Interval base of the route cache's LSN retention.
+    pub partition_base: u64,
+    /// Delay before the first linearization action (lets hellos land).
+    pub act_delay: u64,
+    /// Batching window between a state change and the linearization action
+    /// it triggers.
+    pub act_interval: u64,
+    /// Re-send interval for un-acknowledged notification handshakes.
+    pub retry_interval: u64,
+    /// Delay before the first ring-closure probe.
+    pub discover_delay: u64,
+    /// Re-probe interval while the node's ring edge is unresolved.
+    pub discover_retry: u64,
+    /// Launch counter-clockwise probes too (the paper's redundancy
+    /// suggestion; ablation `--no-ccw` switches it off).
+    pub ccw_redundancy: bool,
+    /// Virtual-neighbor audit period: a node periodically re-announces
+    /// itself along each virtual edge so a peer that lost the edge (e.g. it
+    /// crashed and purged state, or rejoined fresh) re-adopts it. Edges
+    /// stay *mutual*, which is what lets linearization resume after churn.
+    /// Audits stop after `audit_quiet` unchanged rounds. The default is
+    /// `u32::MAX` — never: a crashed-and-rejoined peer leaves no local
+    /// signal at the surviving endpoint, so eventual self-stabilization
+    /// requires the heartbeat to keep running (it is two messages per node
+    /// per period, still flood-free — the lightweight analogue of Chord's
+    /// stabilize loop). Set a finite value for self-quiescing simulations.
+    pub audit_interval: u64,
+    /// Quiet audit rounds before the audit timer stops (`u32::MAX` = never).
+    pub audit_quiet: u32,
+    /// Tear down delegated edges (the paper's protocol). Off = the
+    /// with-memory ablation: neighbor sets only ever grow.
+    pub teardown: bool,
+}
+
+impl Default for SsrConfig {
+    fn default() -> Self {
+        SsrConfig {
+            partition_base: 2,
+            act_delay: 2,
+            act_interval: 2,
+            retry_interval: 24,
+            discover_delay: 8,
+            discover_retry: 48,
+            ccw_redundancy: true,
+            audit_interval: 48,
+            audit_quiet: u32::MAX,
+            teardown: true,
+        }
+    }
+}
+
+/// An in-flight linearization handshake: both notified nodes must ACK
+/// before the delegated edge is torn down. Retries re-send with the *same*
+/// sequence number (otherwise a round trip longer than the retry interval
+/// could never complete) and back off exponentially.
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    keep: NodeId,
+    drop: NodeId,
+    seq: SeqNo,
+    keep_acked: bool,
+    drop_acked: bool,
+    retries: u8,
+}
+
+impl Pending {
+    fn done(&self) -> bool {
+        self.keep_acked && self.drop_acked
+    }
+}
+
+/// Per-node state of the linearized SSR bootstrap.
+#[derive(Clone, Debug)]
+pub struct SsrNode {
+    /// This node's address.
+    id: NodeId,
+    config: SsrConfig,
+    /// Physical neighbors: address → simulator index, learned from hellos.
+    nbr_index: BTreeMap<NodeId, usize>,
+    /// Physical neighbors: simulator index → address.
+    nbr_id: BTreeMap<usize, NodeId>,
+    /// Virtual left neighbors (addresses `< id`).
+    left: BTreeSet<NodeId>,
+    /// Virtual right neighbors (addresses `> id`).
+    right: BTreeSet<NodeId>,
+    /// Ring-closure edge toward the address-space maximum (set at the node
+    /// that believes itself the minimum).
+    wrap_pred: Option<NodeId>,
+    /// Ring-closure edge toward the address-space minimum (set at the node
+    /// that believes itself the maximum).
+    wrap_succ: Option<NodeId>,
+    /// The route cache (pinned entries = virtual neighbors + ring edges).
+    cache: RouteCache,
+    pending_left: Option<Pending>,
+    pending_right: Option<Pending>,
+    seq: SeqNo,
+    /// Outstanding discovery probes (cleared by closure or retry timer).
+    disc_cw_out: bool,
+    disc_ccw_out: bool,
+    discover_timer_armed: bool,
+    /// Whether an ACT timer is already queued (actions are batched so each
+    /// linearization step sees settled state rather than reacting to every
+    /// single message — the asynchronous analogue of synchronous rounds).
+    act_scheduled: bool,
+    audit_armed: bool,
+    audit_quiet_rounds: u32,
+    audit_last_sig: u64,
+    /// Data probes that reached this node: `(source, physical hops)`.
+    delivered_probes: Vec<(NodeId, u32)>,
+}
+
+impl SsrNode {
+    /// A fresh node with the given address and default configuration.
+    pub fn new(id: NodeId) -> Self {
+        Self::with_config(id, SsrConfig::default())
+    }
+
+    /// A fresh node with explicit tuning.
+    pub fn with_config(id: NodeId, config: SsrConfig) -> Self {
+        SsrNode {
+            id,
+            config,
+            nbr_index: BTreeMap::new(),
+            nbr_id: BTreeMap::new(),
+            left: BTreeSet::new(),
+            right: BTreeSet::new(),
+            wrap_pred: None,
+            wrap_succ: None,
+            cache: RouteCache::with_partition(id, IntervalPartition::new(config.partition_base)),
+            pending_left: None,
+            pending_right: None,
+            seq: SeqNo::ZERO,
+            disc_cw_out: false,
+            disc_ccw_out: false,
+            discover_timer_armed: false,
+            act_scheduled: false,
+            audit_armed: false,
+            audit_quiet_rounds: 0,
+            audit_last_sig: 0,
+            delivered_probes: Vec::new(),
+        }
+    }
+
+    /// Signature over the neighbor structure; a change restarts audits.
+    fn audit_signature(&self) -> u64 {
+        let sig = self.closest_left().map_or(0, |k| k.raw().rotate_left(13))
+            ^ self.closest_right().map_or(0, |k| k.raw().rotate_left(17));
+        sig ^ self.wrap_pred.map_or(0, |p| p.raw().rotate_left(29))
+            ^ self.wrap_succ.map_or(0, |p| p.raw().rotate_left(47))
+    }
+
+    fn arm_audit(&mut self, ctx: &mut Ctx<'_, SsrMsg>) {
+        if !self.audit_armed {
+            self.audit_armed = true;
+            ctx.set_timer(self.config.audit_interval, TOKEN_AUDIT);
+        }
+    }
+
+    /// Re-announces this node along its *ring-relevant* edges — closest
+    /// neighbor per side plus the wrap partners: exactly the edges the
+    /// global ring needs to be mutual. Auditing every set member instead
+    /// would perpetually resurrect edges linearization just delegated away.
+    fn run_audit(&mut self, ctx: &mut Ctx<'_, SsrMsg>) {
+        // wrap partners are deliberately NOT audited: an audit arrives as a
+        // plain notification, which would enter the wrap edge into the
+        // peer's *side set* and get it linearized away. Lost wrap edges
+        // self-repair through the discovery retry instead.
+        let members: Vec<NodeId> = self
+            .closest_left()
+            .into_iter()
+            .chain(self.closest_right())
+            .collect();
+        let seq = self.seq.bump();
+        for m in members {
+            let Some(route) = self.cache.get(m).cloned() else {
+                continue;
+            };
+            let back = route.reversed();
+            let payload = Payload::Notify {
+                initiator: self.id,
+                target_route: back.hops().to_vec(),
+                reply_route: back.hops().to_vec(),
+                seq,
+            };
+            self.send_payload(ctx, &route, payload);
+        }
+    }
+
+    /// Queues a (deduplicated) linearization action `act_interval` ticks
+    /// out. Immediate per-message reactions act on half-updated neighbor
+    /// sets and can sustain add/teardown churn; batching lets each step see
+    /// the settled outcome of the previous wave.
+    fn schedule_act(&mut self, ctx: &mut Ctx<'_, SsrMsg>) {
+        if !self.act_scheduled {
+            self.act_scheduled = true;
+            ctx.set_timer(self.config.act_interval, TOKEN_ACT);
+        }
+        self.arm_audit(ctx);
+    }
+
+    /// This node's address.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The route cache (read-only).
+    pub fn cache(&self) -> &RouteCache {
+        &self.cache
+    }
+
+    /// The left virtual-neighbor set.
+    pub fn left_set(&self) -> &BTreeSet<NodeId> {
+        &self.left
+    }
+
+    /// The right virtual-neighbor set.
+    pub fn right_set(&self) -> &BTreeSet<NodeId> {
+        &self.right
+    }
+
+    /// Closest left neighbor (the largest address below ours).
+    pub fn closest_left(&self) -> Option<NodeId> {
+        self.left.iter().next_back().copied()
+    }
+
+    /// Closest right neighbor (the smallest address above ours).
+    pub fn closest_right(&self) -> Option<NodeId> {
+        self.right.iter().next().copied()
+    }
+
+    /// The ring-closure predecessor edge (only meaningful at the minimum).
+    pub fn wrap_pred(&self) -> Option<NodeId> {
+        self.wrap_pred
+    }
+
+    /// The ring-closure successor edge (only meaningful at the maximum).
+    pub fn wrap_succ(&self) -> Option<NodeId> {
+        self.wrap_succ
+    }
+
+    /// The node this one considers its *ring successor*: the closest right
+    /// neighbor, or the ring-closure edge when the right side is empty.
+    pub fn ring_succ(&self) -> Option<NodeId> {
+        self.closest_right().or(self.wrap_succ)
+    }
+
+    /// The node this one considers its *ring predecessor*.
+    pub fn ring_pred(&self) -> Option<NodeId> {
+        self.closest_left().or(self.wrap_pred)
+    }
+
+    /// `true` once this node is locally consistent on the line: at most one
+    /// neighbor per side and no handshake in flight.
+    pub fn locally_consistent(&self) -> bool {
+        self.left.len() <= 1
+            && self.right.len() <= 1
+            && self.pending_left.is_none()
+            && self.pending_right.is_none()
+    }
+
+    /// Data probes that terminated here.
+    pub fn delivered_probes(&self) -> &[(NodeId, u32)] {
+        &self.delivered_probes
+    }
+
+    // -- state injection (experiments & self-stabilization tests) ----------
+
+    /// Injects a virtual neighbor (experiment-side state setup: the figure
+    /// reproductions start from adversarial states — loopy rings, separate
+    /// rings — and watch the protocol stabilize out of them).
+    pub fn inject_neighbor(&mut self, route: SourceRoute) {
+        self.adopt_neighbor(route);
+    }
+
+    /// Injects a ring-closure predecessor edge.
+    pub fn inject_wrap_pred(&mut self, other: NodeId, route: SourceRoute) {
+        assert_eq!(route.src(), self.id);
+        assert_eq!(route.dst(), other);
+        self.cache.insert(route, true);
+        self.wrap_pred = Some(other);
+    }
+
+    /// Injects a ring-closure successor edge.
+    pub fn inject_wrap_succ(&mut self, other: NodeId, route: SourceRoute) {
+        assert_eq!(route.src(), self.id);
+        assert_eq!(route.dst(), other);
+        self.cache.insert(route, true);
+        self.wrap_succ = Some(other);
+    }
+
+    /// Injects physical-neighbor knowledge (address ↔ simulator index), as
+    /// if a hello had been received. Experiment-side setup only.
+    pub fn inject_phys_neighbor(&mut self, id: NodeId, index: usize) {
+        self.nbr_index.insert(id, index);
+        self.nbr_id.insert(index, id);
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    /// Records `route` (me → someone) as a *virtual neighbor*: pinned cache
+    /// entry plus membership in the proper side set. Returns `true` if the
+    /// node was new to the side set.
+    fn adopt_neighbor(&mut self, route: SourceRoute) -> bool {
+        let other = route.dst();
+        if other == self.id {
+            return false;
+        }
+        self.cache.insert(route, true);
+        if other < self.id {
+            self.left.insert(other)
+        } else {
+            self.right.insert(other)
+        }
+    }
+
+    /// Removes `other` from the side sets and lets the cache's LSN
+    /// retention decide whether its route survives as a shortcut.
+    fn drop_neighbor(&mut self, other: NodeId) {
+        self.left.remove(&other);
+        self.right.remove(&other);
+        self.cache.unpin(other);
+    }
+
+    /// Sends `payload` source-routed along `route` (which must start at this
+    /// node). Trivial routes are ignored.
+    fn send_payload(&mut self, ctx: &mut Ctx<'_, SsrMsg>, route: &SourceRoute, payload: Payload) {
+        debug_assert_eq!(route.src(), self.id);
+        if route.is_empty() {
+            return;
+        }
+        let trace = if payload.wants_trace() {
+            vec![self.id]
+        } else {
+            Vec::new()
+        };
+        let env = ForwardEnvelope {
+            route: route.hops().to_vec(),
+            pos: 0,
+            trace,
+            payload,
+        };
+        self.forward_env(ctx, env);
+    }
+
+    /// Advances an envelope one physical hop (from `pos` to `pos + 1`).
+    fn forward_env(&mut self, ctx: &mut Ctx<'_, SsrMsg>, mut env: ForwardEnvelope) {
+        let next_pos = env.pos + 1;
+        let Some(&next_id) = env.route.get(next_pos) else {
+            ctx.metrics().incr("fwd.truncated");
+            return;
+        };
+        let Some(&next_idx) = self.nbr_index.get(&next_id) else {
+            // the physical link vanished under the route
+            ctx.metrics().incr("fwd.broken");
+            return;
+        };
+        env.pos = next_pos;
+        ctx.send(next_idx, SsrMsg::Forward(env));
+    }
+
+    /// Route lookup for virtual neighbors (pinned, so always present while
+    /// the neighbor is in a set).
+    fn route_to(&self, other: NodeId) -> Option<&SourceRoute> {
+        self.cache.get(other)
+    }
+
+    /// Introduces `about` to `to`: sends `to` a notification with a source
+    /// route `to → about` built by concatenation through this node.
+    fn introduce(&mut self, ctx: &mut Ctx<'_, SsrMsg>, to: NodeId, about: NodeId, seq: SeqNo) {
+        if to == about || to == self.id || about == self.id {
+            return;
+        }
+        let (Some(r_to), Some(r_about)) = (self.route_to(to), self.route_to(about)) else {
+            ctx.metrics().incr("fwd.no_route");
+            return;
+        };
+        let reply = r_to.reversed();
+        let target = reply.concat(r_about);
+        if target.is_empty() {
+            return;
+        }
+        let payload = Payload::Notify {
+            initiator: self.id,
+            target_route: target.hops().to_vec(),
+            reply_route: reply.hops().to_vec(),
+            seq,
+        };
+        let r_to = r_to.clone();
+        self.send_payload(ctx, &r_to, payload);
+    }
+
+    /// The linearization driver: performs one handshake per side, launches
+    /// discovery, demotes stale ring edges. Called after every relevant
+    /// state change; safe to call at any time.
+    fn act(&mut self, ctx: &mut Ctx<'_, SsrMsg>) {
+        self.demote_stale_wraps(ctx);
+        self.linearize_side(ctx, Direction::Cw);
+        self.linearize_side(ctx, Direction::Ccw);
+        self.maybe_discover(ctx);
+    }
+
+    /// Handshake retry: re-send the un-acked notifications with the *same*
+    /// sequence number and exponential backoff. After several retries the
+    /// handshake is abandoned (the peer or route may be gone) and `act`
+    /// re-evaluates from scratch.
+    fn retry_pending(&mut self, ctx: &mut Ctx<'_, SsrMsg>, side: Direction, seq: SeqNo) {
+        let slot = match side {
+            Direction::Ccw => &mut self.pending_left,
+            Direction::Cw => &mut self.pending_right,
+        };
+        let Some(p) = slot else { return };
+        if p.seq != seq {
+            return; // timer from a superseded handshake
+        }
+        if p.retries >= 4 {
+            // the handshake cannot complete — after churn, a set member's
+            // source route may silently be dead. Drop the unresponsive
+            // endpoints (their routes too): live nodes re-enter via hellos
+            // and fresh notifications; ghosts stay gone.
+            let p = *p;
+            *slot = None;
+            if !p.keep_acked {
+                self.drop_neighbor(p.keep);
+                self.cache.remove(p.keep);
+            }
+            if !p.drop_acked {
+                self.drop_neighbor(p.drop);
+                self.cache.remove(p.drop);
+            }
+            self.schedule_act(ctx);
+            return;
+        }
+        p.retries += 1;
+        let p = *p;
+        let delay = self.config.retry_interval << p.retries;
+        if !p.keep_acked {
+            self.introduce(ctx, p.keep, p.drop, p.seq);
+        }
+        if !p.drop_acked {
+            self.introduce(ctx, p.drop, p.keep, p.seq);
+        }
+        let token = match side {
+            Direction::Ccw => TOKEN_RETRY_LEFT,
+            Direction::Cw => TOKEN_RETRY_RIGHT,
+        };
+        ctx.set_timer(delay, token | ((seq.0 as u64) << 8));
+    }
+
+    /// A ring edge at a node whose "empty" side gained a neighbor was
+    /// premature: tear it down so both ends re-resolve.
+    fn demote_stale_wraps(&mut self, ctx: &mut Ctx<'_, SsrMsg>) {
+        if !self.left.is_empty() {
+            if let Some(p) = self.wrap_pred.take() {
+                self.teardown_to(ctx, p);
+            }
+        }
+        if !self.right.is_empty() {
+            if let Some(s) = self.wrap_succ.take() {
+                self.teardown_to(ctx, s);
+            }
+        }
+    }
+
+    fn teardown_to(&mut self, ctx: &mut Ctx<'_, SsrMsg>, other: NodeId) {
+        if let Some(route) = self.route_to(other).cloned() {
+            self.send_payload(ctx, &route, Payload::Teardown { from: self.id });
+        }
+        self.cache.unpin(other);
+    }
+
+    /// One linearization step on one side, if that side has more than one
+    /// neighbor and no handshake is already in flight.
+    fn linearize_side(&mut self, ctx: &mut Ctx<'_, SsrMsg>, side: Direction) {
+        let pending = match side {
+            Direction::Cw => &self.pending_right,
+            Direction::Ccw => &self.pending_left,
+        };
+        if pending.is_some() {
+            return;
+        }
+        // The two *farthest* on the side (the paper's v2 < v3 with every
+        // other right neighbor below both): drop the farthest, keep the
+        // second-farthest, introduce them to each other.
+        let (keep, drop) = match side {
+            Direction::Cw => {
+                if self.right.len() < 2 {
+                    return;
+                }
+                let mut it = self.right.iter().rev();
+                let drop = *it.next().unwrap();
+                let keep = *it.next().unwrap();
+                (keep, drop)
+            }
+            Direction::Ccw => {
+                if self.left.len() < 2 {
+                    return;
+                }
+                let mut it = self.left.iter();
+                let drop = *it.next().unwrap();
+                let keep = *it.next().unwrap();
+                (keep, drop)
+            }
+        };
+        let seq = self.seq.bump();
+        self.introduce(ctx, keep, drop, seq);
+        self.introduce(ctx, drop, keep, seq);
+        let pending = Pending {
+            keep,
+            drop,
+            seq,
+            keep_acked: false,
+            drop_acked: false,
+            retries: 0,
+        };
+        // the retry token carries the handshake's seq so a late timer from a
+        // completed handshake cannot cancel its successor
+        match side {
+            Direction::Cw => {
+                self.pending_right = Some(pending);
+                ctx.set_timer(
+                    self.config.retry_interval,
+                    TOKEN_RETRY_RIGHT | ((seq.0 as u64) << 8),
+                );
+            }
+            Direction::Ccw => {
+                self.pending_left = Some(pending);
+                ctx.set_timer(
+                    self.config.retry_interval,
+                    TOKEN_RETRY_LEFT | ((seq.0 as u64) << 8),
+                );
+            }
+        }
+    }
+
+    /// Launches ring-closure probes for empty sides; (re)arms the probe
+    /// retry timer while any side is unresolved.
+    fn maybe_discover(&mut self, ctx: &mut Ctx<'_, SsrMsg>) {
+        if self.cache.is_empty() {
+            return;
+        }
+        let need_cw = self.left.is_empty() && self.wrap_pred.is_none();
+        let need_ccw =
+            self.config.ccw_redundancy && self.right.is_empty() && self.wrap_succ.is_none();
+        let now = ctx.now().ticks();
+        if now < self.config.discover_delay {
+            // too early to probe — wake up again once the settle delay is
+            // over, otherwise an already-linear network would quiesce
+            // without ever closing its ring
+            if (need_cw || need_ccw) && !self.discover_timer_armed {
+                self.discover_timer_armed = true;
+                ctx.set_timer(self.config.discover_delay - now, TOKEN_DISCOVER);
+            }
+            return;
+        }
+        if need_cw && !self.disc_cw_out {
+            self.disc_cw_out = true;
+            let env = ForwardEnvelope {
+                route: vec![self.id],
+                pos: 0,
+                trace: vec![self.id],
+                payload: Payload::Discover {
+                    origin: self.id,
+                    dir: Direction::Cw,
+                },
+            };
+            self.handle_discover_here(ctx, env);
+        }
+        if need_ccw && !self.disc_ccw_out {
+            self.disc_ccw_out = true;
+            let env = ForwardEnvelope {
+                route: vec![self.id],
+                pos: 0,
+                trace: vec![self.id],
+                payload: Payload::Discover {
+                    origin: self.id,
+                    dir: Direction::Ccw,
+                },
+            };
+            self.handle_discover_here(ctx, env);
+        }
+        if (need_cw || need_ccw) && !self.discover_timer_armed {
+            self.discover_timer_armed = true;
+            ctx.set_timer(self.config.discover_retry, TOKEN_DISCOVER);
+        }
+    }
+
+    /// A discovery probe is at this virtual node: forward it greedily along
+    /// the line, or accept it if this node is a believed extreme.
+    fn handle_discover_here(&mut self, ctx: &mut Ctx<'_, SsrMsg>, env: ForwardEnvelope) {
+        let Payload::Discover { origin, dir } = env.payload else {
+            unreachable!("handle_discover_here requires a Discover payload");
+        };
+        let next = match dir {
+            Direction::Cw => self.cache.largest_above_me().map(|(d, r)| (d, r.clone())),
+            Direction::Ccw => self.cache.smallest_below_me().map(|(d, r)| (d, r.clone())),
+        };
+        match next {
+            Some((_, route)) => {
+                // keep traveling toward the extreme
+                let fresh = ForwardEnvelope {
+                    route: route.hops().to_vec(),
+                    pos: 0,
+                    trace: env.trace,
+                    payload: env.payload,
+                };
+                self.forward_env(ctx, fresh);
+            }
+            None => self.accept_discovery(ctx, origin, dir, env.trace),
+        }
+    }
+
+    /// This node is a believed extreme: accept (or arbitrate) the probe.
+    fn accept_discovery(
+        &mut self,
+        ctx: &mut Ctx<'_, SsrMsg>,
+        origin: NodeId,
+        dir: Direction,
+        trace: Vec<NodeId>,
+    ) {
+        if origin == self.id {
+            return; // alone in the network (or the probe looped home)
+        }
+        let path = SourceRoute::from_hops(dedup_consecutive(trace)).pruned();
+        if path.src() != origin || path.dst() != self.id {
+            ctx.metrics().incr("fwd.bad_trace");
+            return;
+        }
+        let to_origin = path.reversed();
+        match dir {
+            Direction::Cw => {
+                // I believe I am the maximum; `origin` believes it is the
+                // minimum. Keep the smallest claimant as ring successor and
+                // linearize the rest.
+                match self.wrap_succ {
+                    None => {
+                        self.wrap_succ = Some(origin);
+                        self.cache.insert(to_origin.clone(), true);
+                        self.close_ring_reply(ctx, &to_origin, dir, &path);
+                    }
+                    Some(cur) if origin == cur => {
+                        // duplicate probe: re-acknowledge
+                        self.cache.insert(to_origin.clone(), true);
+                        self.close_ring_reply(ctx, &to_origin, dir, &path);
+                    }
+                    Some(cur) if origin < cur => {
+                        let seq = self.seq.bump();
+                        self.cache.insert(to_origin.clone(), true);
+                        self.wrap_succ = Some(origin);
+                        // the displaced claimant learns about the smaller one
+                        self.introduce(ctx, cur, origin, seq);
+                        self.cache.unpin(cur);
+                        self.close_ring_reply(ctx, &to_origin, dir, &path);
+                    }
+                    Some(cur) => {
+                        // origin is not the minimum: point it at the better
+                        // claimant instead of accepting
+                        self.cache.insert(to_origin, false);
+                        let seq = self.seq.bump();
+                        self.introduce(ctx, origin, cur, seq);
+                    }
+                }
+            }
+            Direction::Ccw => {
+                // I believe I am the minimum; `origin` believes it is the
+                // maximum. Keep the largest claimant as ring predecessor.
+                match self.wrap_pred {
+                    None => {
+                        self.wrap_pred = Some(origin);
+                        self.cache.insert(to_origin.clone(), true);
+                        self.close_ring_reply(ctx, &to_origin, dir, &path);
+                    }
+                    Some(cur) if origin == cur => {
+                        self.cache.insert(to_origin.clone(), true);
+                        self.close_ring_reply(ctx, &to_origin, dir, &path);
+                    }
+                    Some(cur) if origin > cur => {
+                        let seq = self.seq.bump();
+                        self.cache.insert(to_origin.clone(), true);
+                        self.wrap_pred = Some(origin);
+                        self.introduce(ctx, cur, origin, seq);
+                        self.cache.unpin(cur);
+                        self.close_ring_reply(ctx, &to_origin, dir, &path);
+                    }
+                    Some(cur) => {
+                        self.cache.insert(to_origin, false);
+                        let seq = self.seq.bump();
+                        self.introduce(ctx, origin, cur, seq);
+                    }
+                }
+            }
+        }
+    }
+
+    fn close_ring_reply(
+        &mut self,
+        ctx: &mut Ctx<'_, SsrMsg>,
+        to_origin: &SourceRoute,
+        dir: Direction,
+        origin_to_me: &SourceRoute,
+    ) {
+        let payload = Payload::CloseRing {
+            acceptor: self.id,
+            dir,
+            route: origin_to_me.hops().to_vec(),
+        };
+        let to_origin = to_origin.clone();
+        self.send_payload(ctx, &to_origin, payload);
+    }
+
+    /// A closure acknowledgment arrived back at the probe's origin.
+    fn handle_close_ring(
+        &mut self,
+        ctx: &mut Ctx<'_, SsrMsg>,
+        acceptor: NodeId,
+        dir: Direction,
+        route: Vec<NodeId>,
+    ) {
+        if acceptor == self.id {
+            return;
+        }
+        let Some(path) = checked_route(self.id, route) else {
+            ctx.metrics().incr("fwd.bad_trace");
+            return;
+        };
+        if path.dst() != acceptor {
+            ctx.metrics().incr("fwd.bad_trace");
+            return;
+        }
+        match dir {
+            Direction::Cw => {
+                self.disc_cw_out = false;
+                match self.wrap_pred {
+                    None => {
+                        self.wrap_pred = Some(acceptor);
+                        self.cache.insert(path, true);
+                    }
+                    Some(cur) if acceptor == cur => {
+                        self.cache.insert(path, true);
+                    }
+                    Some(cur) if acceptor > cur => {
+                        // the new acceptor is closer to the true maximum
+                        self.cache.insert(path, true);
+                        self.wrap_pred = Some(acceptor);
+                        let seq = self.seq.bump();
+                        self.introduce(ctx, cur, acceptor, seq);
+                        self.cache.unpin(cur);
+                    }
+                    Some(cur) => {
+                        // current is better: tell the lesser acceptor
+                        self.cache.insert(path, false);
+                        let seq = self.seq.bump();
+                        self.introduce(ctx, acceptor, cur, seq);
+                    }
+                }
+            }
+            Direction::Ccw => {
+                self.disc_ccw_out = false;
+                match self.wrap_succ {
+                    None => {
+                        self.wrap_succ = Some(acceptor);
+                        self.cache.insert(path, true);
+                    }
+                    Some(cur) if acceptor == cur => {
+                        self.cache.insert(path, true);
+                    }
+                    Some(cur) if acceptor < cur => {
+                        self.cache.insert(path, true);
+                        self.wrap_succ = Some(acceptor);
+                        let seq = self.seq.bump();
+                        self.introduce(ctx, cur, acceptor, seq);
+                        self.cache.unpin(cur);
+                    }
+                    Some(cur) => {
+                        self.cache.insert(path, false);
+                        let seq = self.seq.bump();
+                        self.introduce(ctx, acceptor, cur, seq);
+                    }
+                }
+            }
+        }
+        self.schedule_act(ctx);
+    }
+
+    /// End-to-end payload arrived at this node.
+    fn handle_payload(&mut self, ctx: &mut Ctx<'_, SsrMsg>, env: ForwardEnvelope) {
+        match env.payload {
+            Payload::Discover { .. } => self.handle_discover_here(ctx, env),
+            Payload::Notify {
+                initiator,
+                target_route,
+                reply_route,
+                seq,
+            } => {
+                let target = match checked_route(self.id, target_route) {
+                    Some(r) => r,
+                    None => {
+                        ctx.metrics().incr("fwd.bad_trace");
+                        return;
+                    }
+                };
+                let reply = match checked_route(self.id, reply_route) {
+                    Some(r) => r,
+                    None => {
+                        ctx.metrics().incr("fwd.bad_trace");
+                        return;
+                    }
+                };
+                let _ = initiator;
+                let pointed_at = target.dst();
+                if !target.is_empty() {
+                    self.adopt_neighbor(target);
+                }
+                // the initiator itself is shortcut knowledge
+                if !reply.is_empty() {
+                    self.cache.insert(reply.clone(), false);
+                    // `about` names the node we were pointed to, so the
+                    // initiator can tell which of its two notifications
+                    // this acknowledges
+                    let ack = Payload::NotifyAck {
+                        about: pointed_at,
+                        seq,
+                    };
+                    self.send_payload(ctx, &reply, ack);
+                }
+                self.schedule_act(ctx);
+            }
+            Payload::NotifyAck { about, seq } => {
+                self.handle_ack(ctx, about, seq);
+            }
+            Payload::Teardown { from } => {
+                self.drop_neighbor(from);
+                if self.wrap_pred == Some(from) {
+                    self.wrap_pred = None;
+                }
+                if self.wrap_succ == Some(from) {
+                    self.wrap_succ = None;
+                }
+                self.schedule_act(ctx);
+            }
+            Payload::CloseRing {
+                acceptor,
+                dir,
+                route,
+            } => self.handle_close_ring(ctx, acceptor, dir, route),
+            Payload::DataProbe { target, hops } => self.handle_probe(ctx, target, hops),
+            Payload::SuccNotify { .. } | Payload::SuccUpdate { .. } => {
+                // ISPRP messages are not part of the linearized protocol
+                ctx.metrics().incr("fwd.unexpected");
+            }
+        }
+    }
+
+    fn handle_ack(&mut self, ctx: &mut Ctx<'_, SsrMsg>, about: NodeId, seq: SeqNo) {
+        for side in [Direction::Ccw, Direction::Cw] {
+            let slot = match side {
+                Direction::Ccw => &mut self.pending_left,
+                Direction::Cw => &mut self.pending_right,
+            };
+            if let Some(p) = slot {
+                if p.seq == seq {
+                    // the ack names the node its sender was pointed to:
+                    // `about == drop` means the *keep* endpoint acked
+                    if about == p.drop {
+                        p.keep_acked = true;
+                    } else if about == p.keep {
+                        p.drop_acked = true;
+                    }
+                    if p.done() {
+                        let drop = p.drop;
+                        let keep = p.keep;
+                        *slot = None;
+                        debug_assert_ne!(drop, keep);
+                        // the delegated edge leaves the neighbor set either
+                        // way (that is what makes linearization progress);
+                        // with `teardown` off we skip the tear-down message
+                        // and keep the route pinned — the with-memory
+                        // ablation trades state for messages
+                        match side {
+                            Direction::Ccw => {
+                                self.left.remove(&drop);
+                            }
+                            Direction::Cw => {
+                                self.right.remove(&drop);
+                            }
+                        }
+                        if self.config.teardown {
+                            self.teardown_to(ctx, drop);
+                            self.cache.unpin(drop);
+                        }
+                        self.schedule_act(ctx);
+                    }
+                    return;
+                }
+            }
+        }
+        // stale ACK from a superseded handshake: ignore
+    }
+
+    /// Greedy forwarding of an application probe.
+    fn handle_probe(&mut self, ctx: &mut Ctx<'_, SsrMsg>, target: NodeId, hops: u32) {
+        if target == self.id {
+            self.delivered_probes.push((target, hops));
+            ctx.metrics().incr("probe.delivered");
+            return;
+        }
+        match self.cache.best_toward(target) {
+            Some((_, route)) => {
+                let route = route.clone();
+                let payload = Payload::DataProbe {
+                    target,
+                    hops: hops + route.len() as u32,
+                };
+                self.send_payload(ctx, &route, payload);
+            }
+            None => {
+                ctx.metrics().incr("probe.stuck");
+            }
+        }
+    }
+
+    /// Handles a link-local hello: learn the neighbor, adopt it as a
+    /// virtual neighbor (`E_v ⊇ E_p`), and reply once if it is new.
+    fn handle_hello(&mut self, ctx: &mut Ctx<'_, SsrMsg>, from_idx: usize, id: NodeId) {
+        let known = self.nbr_id.get(&from_idx) == Some(&id);
+        self.nbr_index.insert(id, from_idx);
+        self.nbr_id.insert(from_idx, id);
+        self.adopt_neighbor(SourceRoute::direct(self.id, id));
+        if !known {
+            ctx.send(from_idx, SsrMsg::Hello { id: self.id });
+            self.schedule_act(ctx);
+        }
+    }
+}
+
+/// Collapses consecutive duplicate hops (a trace records the holder at both
+/// ends of a virtual-hop boundary).
+fn dedup_consecutive(mut hops: Vec<NodeId>) -> Vec<NodeId> {
+    hops.dedup();
+    hops
+}
+
+use crate::node_util::checked_route;
+
+impl Protocol for SsrNode {
+    type Msg = SsrMsg;
+
+    fn on_init(&mut self, ctx: &mut Ctx<'_, SsrMsg>) {
+        ctx.broadcast(SsrMsg::Hello { id: self.id });
+        ctx.set_timer(self.config.act_delay, TOKEN_ACT);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, SsrMsg>, from: usize, msg: SsrMsg) {
+        match msg {
+            SsrMsg::Hello { id } => self.handle_hello(ctx, from, id),
+            SsrMsg::Forward(mut env) => {
+                let Some(&holder) = env.route.get(env.pos) else {
+                    ctx.metrics().incr("fwd.misrouted");
+                    return;
+                };
+                if holder != self.id {
+                    ctx.metrics().incr("fwd.misrouted");
+                    return;
+                }
+                if env.payload.wants_trace() && env.trace.last() != Some(&self.id) {
+                    env.trace.push(self.id);
+                }
+                if env.pos + 1 == env.route.len() {
+                    self.handle_payload(ctx, env);
+                } else {
+                    self.forward_env(ctx, env);
+                }
+            }
+            SsrMsg::Flood { .. } => {
+                // the linearized protocol never floods; ignore strays
+                ctx.metrics().incr("fwd.unexpected");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, SsrMsg>, token: u64) {
+        let seq = SeqNo((token >> 8) as u32);
+        match token & 0xFF {
+            TOKEN_ACT => {
+                self.act_scheduled = false;
+                self.act(ctx);
+            }
+            TOKEN_RETRY_LEFT => self.retry_pending(ctx, Direction::Ccw, seq),
+            TOKEN_RETRY_RIGHT => self.retry_pending(ctx, Direction::Cw, seq),
+            TOKEN_DISCOVER => {
+                self.discover_timer_armed = false;
+                self.disc_cw_out = false;
+                self.disc_ccw_out = false;
+                self.maybe_discover(ctx);
+            }
+            TOKEN_AUDIT => {
+                self.audit_armed = false;
+                let sig = self.audit_signature();
+                if sig != self.audit_last_sig {
+                    self.audit_last_sig = sig;
+                    self.audit_quiet_rounds = 0;
+                } else {
+                    self.audit_quiet_rounds += 1;
+                }
+                if self.audit_quiet_rounds < self.config.audit_quiet {
+                    self.run_audit(ctx);
+                    self.arm_audit(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_neighbor_up(&mut self, ctx: &mut Ctx<'_, SsrMsg>, neighbor: usize) {
+        ctx.send(neighbor, SsrMsg::Hello { id: self.id });
+    }
+
+    fn on_neighbor_down(&mut self, ctx: &mut Ctx<'_, SsrMsg>, neighbor: usize) {
+        let Some(id) = self.nbr_id.remove(&neighbor) else {
+            return;
+        };
+        self.nbr_index.remove(&id);
+        // every route whose next hop (or any hop) crossed the dead link's
+        // peer is gone; set members whose routes died are dropped too
+        self.cache.purge_via(id);
+        let routable: Vec<NodeId> = self
+            .left
+            .iter()
+            .chain(self.right.iter())
+            .copied()
+            .filter(|&v| !self.cache.contains(v))
+            .collect();
+        for v in routable {
+            self.left.remove(&v);
+            self.right.remove(&v);
+        }
+        if self.wrap_pred.is_some_and(|p| !self.cache.contains(p)) {
+            self.wrap_pred = None;
+        }
+        if self.wrap_succ.is_some_and(|s| !self.cache.contains(s)) {
+            self.wrap_succ = None;
+        }
+        self.schedule_act(ctx);
+    }
+
+    fn reset(&mut self) {
+        *self = SsrNode::with_config(self.id, self.config);
+    }
+
+    fn kind(msg: &SsrMsg) -> &'static str {
+        msg.kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let n = SsrNode::new(NodeId(50));
+        assert_eq!(n.id(), NodeId(50));
+        assert!(n.left_set().is_empty() && n.right_set().is_empty());
+        assert!(n.ring_succ().is_none() && n.ring_pred().is_none());
+        assert!(n.locally_consistent());
+        assert_eq!(n.cache().len(), 0);
+    }
+
+    #[test]
+    fn adopt_and_drop_neighbors() {
+        let mut n = SsrNode::new(NodeId(50));
+        assert!(n.adopt_neighbor(SourceRoute::direct(NodeId(50), NodeId(70))));
+        assert!(n.adopt_neighbor(SourceRoute::direct(NodeId(50), NodeId(30))));
+        assert!(!n.adopt_neighbor(SourceRoute::direct(NodeId(50), NodeId(70))));
+        assert_eq!(n.closest_right(), Some(NodeId(70)));
+        assert_eq!(n.closest_left(), Some(NodeId(30)));
+        n.drop_neighbor(NodeId(70));
+        assert!(n.closest_right().is_none());
+        // the route may survive in the cache as an unpinned shortcut
+    }
+
+    #[test]
+    fn ring_succ_prefers_right_set_over_wrap() {
+        let mut n = SsrNode::new(NodeId(50));
+        n.wrap_succ = Some(NodeId(1));
+        assert_eq!(n.ring_succ(), Some(NodeId(1)));
+        n.adopt_neighbor(SourceRoute::direct(NodeId(50), NodeId(70)));
+        assert_eq!(n.ring_succ(), Some(NodeId(70)));
+    }
+
+    #[test]
+    fn checked_route_rejects_garbage() {
+        assert!(checked_route(NodeId(1), vec![]).is_none());
+        assert!(checked_route(NodeId(1), vec![NodeId(2), NodeId(3)]).is_none());
+        assert!(checked_route(NodeId(1), vec![NodeId(1), NodeId(1)]).is_none());
+        let ok = checked_route(NodeId(1), vec![NodeId(1), NodeId(2)]).unwrap();
+        assert_eq!(ok.dst(), NodeId(2));
+    }
+
+    #[test]
+    fn reset_clears_state_but_keeps_identity() {
+        let mut n = SsrNode::new(NodeId(50));
+        n.adopt_neighbor(SourceRoute::direct(NodeId(50), NodeId(70)));
+        n.wrap_succ = Some(NodeId(3));
+        n.reset();
+        assert_eq!(n.id(), NodeId(50));
+        assert!(n.right_set().is_empty());
+        assert!(n.wrap_succ().is_none());
+        assert_eq!(n.cache().len(), 0);
+    }
+
+    #[test]
+    fn dedup_consecutive_collapses_boundaries() {
+        let hops: Vec<NodeId> = [1, 2, 2, 3, 3, 3, 4].iter().map(|&i| NodeId(i)).collect();
+        let out = dedup_consecutive(hops);
+        assert_eq!(out, vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Route-validation helpers shared by the protocol implementations.
+//!
+//! Incoming routes are untrusted data from the network: they may be empty,
+//! not anchored at the receiver, or contain consecutive duplicates from a
+//! buggy/adversarial peer. These helpers normalize them or reject them.
+
+use ssr_types::NodeId;
+
+use crate::route::SourceRoute;
+
+/// Validates an incoming route: non-empty, starts at `me`, no consecutive
+/// duplicates. Returns the cycle-pruned route.
+pub fn checked_route(me: NodeId, hops: Vec<NodeId>) -> Option<SourceRoute> {
+    if hops.is_empty() || hops[0] != me {
+        return None;
+    }
+    if hops.windows(2).any(|w| w[0] == w[1]) {
+        return None;
+    }
+    Some(SourceRoute::from_hops(hops).pruned())
+}
+
+/// Validates a flood/discovery *trace* (`origin → … → me`) and returns the
+/// reversed, pruned route `me → origin`.
+pub fn checked_route_rev(me: NodeId, trace: &[NodeId], origin: NodeId) -> Option<SourceRoute> {
+    if trace.first() != Some(&origin) || trace.last() != Some(&me) {
+        return None;
+    }
+    let mut hops: Vec<NodeId> = trace.to_vec();
+    hops.reverse();
+    hops.dedup();
+    if hops.len() < 2 {
+        return None;
+    }
+    Some(SourceRoute::from_hops(hops).pruned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u64]) -> Vec<NodeId> {
+        v.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn checked_route_accepts_valid() {
+        let r = checked_route(NodeId(1), ids(&[1, 2, 3])).unwrap();
+        assert_eq!(r.dst(), NodeId(3));
+    }
+
+    #[test]
+    fn checked_route_rejects_bad_anchor_and_dups() {
+        assert!(checked_route(NodeId(1), ids(&[])).is_none());
+        assert!(checked_route(NodeId(1), ids(&[2, 3])).is_none());
+        assert!(checked_route(NodeId(1), ids(&[1, 1, 2])).is_none());
+    }
+
+    #[test]
+    fn checked_route_prunes_cycles() {
+        let r = checked_route(NodeId(1), ids(&[1, 2, 3, 2, 4])).unwrap();
+        assert_eq!(r.hops(), &[NodeId(1), NodeId(2), NodeId(4)]);
+    }
+
+    #[test]
+    fn rev_trace_roundtrip() {
+        let r = checked_route_rev(NodeId(5), &ids(&[9, 3, 5]), NodeId(9)).unwrap();
+        assert_eq!(r.src(), NodeId(5));
+        assert_eq!(r.dst(), NodeId(9));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn rev_trace_rejects_mismatched_ends() {
+        assert!(checked_route_rev(NodeId(5), &ids(&[9, 3]), NodeId(9)).is_none());
+        assert!(checked_route_rev(NodeId(5), &ids(&[8, 3, 5]), NodeId(9)).is_none());
+        assert!(checked_route_rev(NodeId(5), &[], NodeId(9)).is_none());
+        // origin == me: a one-element trace has no edge
+        assert!(checked_route_rev(NodeId(5), &ids(&[5]), NodeId(5)).is_none());
+    }
+}

@@ -1,0 +1,260 @@
+//! Source routes.
+//!
+//! A source route is an explicit physical path, written as the sequence of
+//! node addresses from the route's owner to its destination, both inclusive.
+//! Virtual-ring edges *are* source routes ("virtual neighbors are connected
+//! by source routes which act as virtual links"), and nodes manufacture new
+//! routes by appending cached ones to each other: when `v1` notifies `v2` of
+//! `v3`, the notification carries `reverse(v1→v2) ++ (v1→v3)` — a route
+//! `v2 → v3` through `v1` — with any incidental cycles pruned.
+
+use ssr_types::NodeId;
+
+/// A physical path `self → destination` as a sequence of addresses,
+/// including both endpoints. A single-element route is the trivial route to
+/// oneself; a two-element route is a direct physical link.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SourceRoute {
+    hops: Vec<NodeId>,
+}
+
+impl SourceRoute {
+    /// The trivial route from a node to itself.
+    pub fn trivial(me: NodeId) -> Self {
+        SourceRoute { hops: vec![me] }
+    }
+
+    /// A direct one-hop route to a physical neighbor.
+    pub fn direct(me: NodeId, neighbor: NodeId) -> Self {
+        assert_ne!(me, neighbor, "direct route to self");
+        SourceRoute {
+            hops: vec![me, neighbor],
+        }
+    }
+
+    /// Builds a route from an explicit hop sequence.
+    ///
+    /// # Panics
+    /// Panics if `hops` is empty or has equal consecutive entries.
+    pub fn from_hops(hops: Vec<NodeId>) -> Self {
+        assert!(!hops.is_empty(), "a route has at least its owner");
+        for w in hops.windows(2) {
+            assert_ne!(w[0], w[1], "route repeats a hop consecutively");
+        }
+        SourceRoute { hops }
+    }
+
+    /// The route's owner (first hop).
+    #[inline]
+    pub fn src(&self) -> NodeId {
+        self.hops[0]
+    }
+
+    /// The route's destination (last hop).
+    #[inline]
+    pub fn dst(&self) -> NodeId {
+        *self.hops.last().unwrap()
+    }
+
+    /// All hops, owner first.
+    #[inline]
+    pub fn hops(&self) -> &[NodeId] {
+        &self.hops
+    }
+
+    /// Number of physical links traversed (`hops - 1`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.hops.len() - 1
+    }
+
+    /// `true` for the trivial self-route.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.hops.len() == 1
+    }
+
+    /// The same path seen from the other end — valid because physical links
+    /// are bidirectional.
+    pub fn reversed(&self) -> SourceRoute {
+        let mut hops = self.hops.clone();
+        hops.reverse();
+        SourceRoute { hops }
+    }
+
+    /// Appends `other` (which must start where `self` ends) and prunes
+    /// cycles, so the result visits no node twice. This is the paper's
+    /// "append (parts of) them to each other to create new source routes".
+    ///
+    /// # Panics
+    /// Panics if `other.src() != self.dst()`.
+    pub fn concat(&self, other: &SourceRoute) -> SourceRoute {
+        assert_eq!(
+            self.dst(),
+            other.src(),
+            "routes do not share the junction node"
+        );
+        let mut hops = self.hops.clone();
+        hops.extend_from_slice(&other.hops[1..]);
+        SourceRoute { hops }.pruned()
+    }
+
+    /// Removes cycles: whenever a node appears twice, everything between
+    /// the two occurrences (inclusive of the second) is cut. The result is
+    /// a simple path with the same endpoints, never longer than the input.
+    pub fn pruned(&self) -> SourceRoute {
+        let mut seen: std::collections::HashMap<NodeId, usize> =
+            std::collections::HashMap::with_capacity(self.hops.len());
+        let mut out: Vec<NodeId> = Vec::with_capacity(self.hops.len());
+        for &hop in &self.hops {
+            if let Some(&pos) = seen.get(&hop) {
+                // cut the loop: drop everything after the first occurrence
+                for dropped in out.drain(pos + 1..) {
+                    seen.remove(&dropped);
+                }
+            } else {
+                seen.insert(hop, out.len());
+                out.push(hop);
+            }
+        }
+        SourceRoute { hops: out }
+    }
+
+    /// `true` iff no node appears twice.
+    pub fn is_simple(&self) -> bool {
+        let mut seen = std::collections::HashSet::with_capacity(self.hops.len());
+        self.hops.iter().all(|h| seen.insert(*h))
+    }
+
+    /// The hop after `node` on this route, if `node` is on the route and
+    /// not its destination — what a forwarding node looks up.
+    pub fn next_hop_after(&self, node: NodeId) -> Option<NodeId> {
+        let pos = self.hops.iter().position(|&h| h == node)?;
+        self.hops.get(pos + 1).copied()
+    }
+
+    /// Checks the route against ground truth: every consecutive pair must
+    /// be a physical edge. Used by tests and the observer-side validators
+    /// (protocols themselves never see the global topology).
+    pub fn valid_in<F: Fn(NodeId, NodeId) -> bool>(&self, has_edge: F) -> bool {
+        self.hops.windows(2).all(|w| has_edge(w[0], w[1]))
+    }
+}
+
+impl std::fmt::Display for SourceRoute {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for h in &self.hops {
+            if !first {
+                write!(f, "→")?;
+            }
+            write!(f, "{h}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(ids: &[u64]) -> SourceRoute {
+        SourceRoute::from_hops(ids.iter().map(|&i| NodeId(i)).collect())
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let route = r(&[1, 2, 3]);
+        assert_eq!(route.src(), NodeId(1));
+        assert_eq!(route.dst(), NodeId(3));
+        assert_eq!(route.len(), 2);
+        assert!(!route.is_empty());
+        assert!(SourceRoute::trivial(NodeId(9)).is_empty());
+        assert_eq!(SourceRoute::direct(NodeId(1), NodeId(2)).len(), 1);
+    }
+
+    #[test]
+    fn reversal() {
+        let route = r(&[1, 2, 3]);
+        let rev = route.reversed();
+        assert_eq!(rev.hops(), &[NodeId(3), NodeId(2), NodeId(1)]);
+        assert_eq!(rev.reversed(), route);
+    }
+
+    #[test]
+    fn concat_through_junction() {
+        // v2→v1 ++ v1→v3  =  v2→v3 (the paper's update construction)
+        let back = r(&[2, 7, 1]); // v2 → v1 via 7
+        let fwd = r(&[1, 8, 3]); // v1 → v3 via 8
+        let combined = back.concat(&fwd);
+        assert_eq!(combined.hops(), &[NodeId(2), NodeId(7), NodeId(1), NodeId(8), NodeId(3)]);
+        assert!(combined.is_simple());
+    }
+
+    #[test]
+    fn concat_prunes_shared_prefix_cycle() {
+        // v2 → v1 via 7, then v1 → v3 via 7 again: the detour through v1
+        // collapses, leaving v2 → 7 → v3.
+        let back = r(&[2, 7, 1]);
+        let fwd = r(&[1, 7, 3]);
+        let combined = back.concat(&fwd);
+        assert_eq!(combined.hops(), &[NodeId(2), NodeId(7), NodeId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "junction")]
+    fn concat_requires_junction() {
+        let _ = r(&[1, 2]).concat(&r(&[3, 4]));
+    }
+
+    #[test]
+    fn pruning_removes_all_cycles() {
+        let looped = SourceRoute {
+            hops: vec![1, 2, 3, 4, 2, 5].into_iter().map(NodeId).collect(),
+        };
+        let pruned = looped.pruned();
+        assert_eq!(pruned.hops(), &[NodeId(1), NodeId(2), NodeId(5)]);
+        assert!(pruned.is_simple());
+        assert_eq!(pruned.src(), looped.src());
+        assert_eq!(pruned.dst(), looped.dst());
+    }
+
+    #[test]
+    fn pruning_handles_nested_cycles() {
+        let looped = SourceRoute {
+            hops: vec![1, 2, 3, 2, 4, 1, 5].into_iter().map(NodeId).collect(),
+        };
+        let pruned = looped.pruned();
+        assert_eq!(pruned.hops(), &[NodeId(1), NodeId(5)]);
+    }
+
+    #[test]
+    fn pruning_endpoint_cycle_collapses_to_trivial() {
+        let looped = SourceRoute {
+            hops: vec![1, 2, 1].into_iter().map(NodeId).collect(),
+        };
+        assert_eq!(looped.pruned(), SourceRoute::trivial(NodeId(1)));
+    }
+
+    #[test]
+    fn next_hop_lookup() {
+        let route = r(&[1, 2, 3]);
+        assert_eq!(route.next_hop_after(NodeId(1)), Some(NodeId(2)));
+        assert_eq!(route.next_hop_after(NodeId(2)), Some(NodeId(3)));
+        assert_eq!(route.next_hop_after(NodeId(3)), None);
+        assert_eq!(route.next_hop_after(NodeId(9)), None);
+    }
+
+    #[test]
+    fn validity_check() {
+        let route = r(&[1, 2, 3]);
+        assert!(route.valid_in(|a, b| a.raw() + 1 == b.raw() || b.raw() + 1 == a.raw()));
+        assert!(!r(&[1, 3]).valid_in(|a, b| a.raw() + 1 == b.raw() || b.raw() + 1 == a.raw()));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", r(&[1, 2, 3])), "1→2→3");
+    }
+}

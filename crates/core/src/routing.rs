@@ -1,0 +1,279 @@
+//! Greedy source routing over (converged or converging) node state.
+//!
+//! "When routing a packet, the respective node chooses that (intermediate)
+//! destination from its cache that is physically closest to itself and
+//! virtually closest to the final destination of the packet" — realized
+//! here as the clockwise-progress rule of [`RouteCache::best_toward`]
+//! (virtual progress first, physical route length as tie-break), repeated at
+//! every intermediate destination until arrival.
+//!
+//! "If the virtual ring has been formed consistently, this routing algorithm
+//! is guaranteed to succeed for any source and destination pair" — that
+//! guarantee is exactly what experiment E7 measures, so this module routes
+//! over a *snapshot* of all node states (fast, deterministic, no protocol
+//! interference) and reports virtual hops, physical hops, and failures.
+
+use std::collections::HashMap;
+
+use ssr_types::NodeId;
+
+use crate::cache::RouteCache;
+use crate::node::SsrNode;
+
+/// Outcome of routing one packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteOutcome {
+    /// Arrived; counts are (virtual hops, physical hops).
+    Delivered {
+        /// Greedy routing steps (intermediate destinations).
+        virtual_hops: u32,
+        /// Physical link traversals.
+        physical_hops: u32,
+    },
+    /// A node had no cache entry making clockwise progress — the ring is
+    /// (still) inconsistent toward this destination.
+    Stuck {
+        /// Node at which the packet stalled.
+        at: NodeId,
+    },
+    /// The hop budget was exhausted (defensively bounded walk).
+    Exhausted,
+}
+
+impl RouteOutcome {
+    /// `true` iff the packet arrived.
+    pub fn delivered(&self) -> bool {
+        matches!(self, RouteOutcome::Delivered { .. })
+    }
+}
+
+/// An immutable routing view over all node states.
+pub struct RoutingView<'a> {
+    caches: HashMap<NodeId, &'a RouteCache>,
+}
+
+impl<'a> RoutingView<'a> {
+    /// Builds the view from linearized SSR nodes.
+    pub fn new(nodes: &'a [SsrNode]) -> Self {
+        RoutingView {
+            caches: nodes.iter().map(|n| (n.id(), n.cache())).collect(),
+        }
+    }
+
+    /// Builds the view from bare caches (used by the VRR comparison, whose
+    /// path state exposes the same lookup structure).
+    pub fn from_caches(caches: impl IntoIterator<Item = &'a RouteCache>) -> Self {
+        RoutingView {
+            caches: caches.into_iter().map(|c| (c.owner(), c)).collect(),
+        }
+    }
+
+    /// Routes a packet from `src` to `dst` greedily. `max_virtual_hops`
+    /// bounds the walk (n + a margin is plenty on a consistent ring).
+    pub fn route(&self, src: NodeId, dst: NodeId, max_virtual_hops: u32) -> RouteOutcome {
+        if src == dst {
+            return RouteOutcome::Delivered {
+                virtual_hops: 0,
+                physical_hops: 0,
+            };
+        }
+        let mut cur = src;
+        let mut virtual_hops = 0u32;
+        let mut physical_hops = 0u32;
+        while virtual_hops < max_virtual_hops {
+            let Some(cache) = self.caches.get(&cur) else {
+                return RouteOutcome::Stuck { at: cur };
+            };
+            let Some((next, route)) = cache.best_toward(dst) else {
+                return RouteOutcome::Stuck { at: cur };
+            };
+            virtual_hops += 1;
+            physical_hops += route.len() as u32;
+            cur = next;
+            if cur == dst {
+                return RouteOutcome::Delivered {
+                    virtual_hops,
+                    physical_hops,
+                };
+            }
+        }
+        RouteOutcome::Exhausted
+    }
+}
+
+/// Aggregate routing statistics over many trials.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoutingStats {
+    /// Packets routed.
+    pub attempts: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Total virtual hops over delivered packets.
+    pub virtual_hops: u64,
+    /// Total physical hops over delivered packets.
+    pub physical_hops: u64,
+    /// Total shortest-path hops over delivered packets (for stretch).
+    pub shortest_hops: u64,
+}
+
+impl RoutingStats {
+    /// Delivery rate in `[0, 1]`.
+    pub fn success_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.attempts as f64
+        }
+    }
+
+    /// Mean physical path stretch vs the shortest path.
+    pub fn stretch(&self) -> f64 {
+        if self.shortest_hops == 0 {
+            0.0
+        } else {
+            self.physical_hops as f64 / self.shortest_hops as f64
+        }
+    }
+
+    /// Mean virtual hops per delivered packet.
+    pub fn mean_virtual_hops(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.virtual_hops as f64 / self.delivered as f64
+        }
+    }
+
+    /// Records one trial (`shortest` = ground-truth hop distance).
+    pub fn record(&mut self, outcome: RouteOutcome, shortest: u32) {
+        self.attempts += 1;
+        if let RouteOutcome::Delivered {
+            virtual_hops,
+            physical_hops,
+        } = outcome
+        {
+            self.delivered += 1;
+            self.virtual_hops += u64::from(virtual_hops);
+            self.physical_hops += u64::from(physical_hops);
+            self.shortest_hops += u64::from(shortest);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::SourceRoute;
+
+    /// Hand-build a consistent 4-node ring 10–20–30–40 where each node
+    /// caches only its ring neighbors (worst case for greedy: pure
+    /// successor walking).
+    fn ring_nodes() -> Vec<SsrNode> {
+        let ids = [10u64, 20, 30, 40].map(NodeId);
+        let mut nodes: Vec<SsrNode> = ids.iter().map(|&i| SsrNode::new(i)).collect();
+        for i in 0..4 {
+            let me = ids[i];
+            let right = ids[(i + 1) % 4];
+            let left = ids[(i + 3) % 4];
+            if right > me {
+                nodes[i].inject_neighbor(SourceRoute::direct(me, right));
+            } else {
+                nodes[i].inject_wrap_succ(right, SourceRoute::direct(me, right));
+            }
+            if left < me {
+                nodes[i].inject_neighbor(SourceRoute::direct(me, left));
+            } else {
+                nodes[i].inject_wrap_pred(left, SourceRoute::direct(me, left));
+            }
+        }
+        nodes
+    }
+
+    #[test]
+    fn ring_walk_delivers_everywhere() {
+        let nodes = ring_nodes();
+        let view = RoutingView::new(&nodes);
+        for src in [10u64, 20, 30, 40] {
+            for dst in [10u64, 20, 30, 40] {
+                let out = view.route(NodeId(src), NodeId(dst), 16);
+                assert!(out.delivered(), "{src}→{dst}: {out:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_edge_used_for_crossing_the_seam() {
+        let nodes = ring_nodes();
+        let view = RoutingView::new(&nodes);
+        // 40 → 10 must cross the wrap edge in one virtual hop
+        match view.route(NodeId(40), NodeId(10), 16) {
+            RouteOutcome::Delivered { virtual_hops, .. } => assert_eq!(virtual_hops, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn shortcut_reduces_virtual_hops() {
+        let mut nodes = ring_nodes();
+        // give node 10 a shortcut straight to 40
+        nodes[0].inject_neighbor(SourceRoute::direct(NodeId(10), NodeId(40)));
+        let view = RoutingView::new(&nodes);
+        match view.route(NodeId(10), NodeId(40), 16) {
+            RouteOutcome::Delivered { virtual_hops, .. } => assert_eq!(virtual_hops, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn broken_ring_reports_stuck() {
+        let mut nodes = ring_nodes();
+        // amputate node 20's knowledge entirely
+        ssr_sim::Protocol::reset(&mut nodes[1]);
+        let view = RoutingView::new(&nodes);
+        match view.route(NodeId(10), NodeId(30), 16) {
+            RouteOutcome::Stuck { at } => assert_eq!(at, NodeId(20)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_route_is_free() {
+        let nodes = ring_nodes();
+        let view = RoutingView::new(&nodes);
+        assert_eq!(
+            view.route(NodeId(10), NodeId(10), 16),
+            RouteOutcome::Delivered {
+                virtual_hops: 0,
+                physical_hops: 0
+            }
+        );
+    }
+
+    #[test]
+    fn hop_budget_bounds_the_walk() {
+        let nodes = ring_nodes();
+        let view = RoutingView::new(&nodes);
+        // 10 → 30 needs two successor hops (the ring edge to 40 overshoots
+        // and is never a candidate); budget 1 fails
+        assert_eq!(view.route(NodeId(10), NodeId(30), 1), RouteOutcome::Exhausted);
+        assert!(view.route(NodeId(10), NodeId(30), 2).delivered());
+    }
+
+    #[test]
+    fn stats_aggregation() {
+        let mut stats = RoutingStats::default();
+        stats.record(
+            RouteOutcome::Delivered {
+                virtual_hops: 2,
+                physical_hops: 4,
+            },
+            2,
+        );
+        stats.record(RouteOutcome::Stuck { at: NodeId(1) }, 1);
+        assert_eq!(stats.attempts, 2);
+        assert_eq!(stats.delivered, 1);
+        assert!((stats.success_rate() - 0.5).abs() < 1e-12);
+        assert!((stats.stretch() - 2.0).abs() < 1e-12);
+        assert!((stats.mean_virtual_hops() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,232 @@
+//! Property-based tests for the SSR core: source-route algebra, cache
+//! retention invariants, and end-to-end bootstrap properties on arbitrary
+//! connected topologies.
+
+use proptest::prelude::*;
+use ssr_core::bootstrap::{run_linearized_bootstrap, BootstrapConfig};
+use ssr_core::cache::RouteCache;
+use ssr_core::route::SourceRoute;
+use ssr_core::routing::RoutingView;
+use ssr_graph::{algo, generators, Graph, Labeling};
+use ssr_types::{IntervalPartition, NodeId, Rng};
+
+/// Strategy: a route as a list of distinct ids (simple path).
+fn simple_path(max_len: usize) -> impl Strategy<Value = Vec<NodeId>> {
+    proptest::collection::btree_set(any::<u64>(), 1..max_len)
+        .prop_map(|s| s.into_iter().map(NodeId).collect::<Vec<_>>())
+        .prop_shuffle()
+}
+
+/// Strategy: a hop list that may contain repeats (cycles), consecutive
+/// duplicates removed.
+fn loopy_path(max_len: usize) -> impl Strategy<Value = Vec<NodeId>> {
+    proptest::collection::vec(0u64..24, 1..max_len).prop_map(|v| {
+        let mut hops: Vec<NodeId> = v.into_iter().map(NodeId).collect();
+        hops.dedup();
+        hops
+    })
+}
+
+proptest! {
+    #[test]
+    fn reverse_is_involutive(hops in simple_path(20)) {
+        let r = SourceRoute::from_hops(hops);
+        prop_assert_eq!(r.reversed().reversed(), r);
+    }
+
+    #[test]
+    fn pruning_yields_simple_path_with_same_endpoints(hops in loopy_path(30)) {
+        let r = SourceRoute::from_hops(hops);
+        let p = r.pruned();
+        prop_assert!(p.is_simple());
+        prop_assert_eq!(p.src(), r.src());
+        prop_assert_eq!(p.dst(), r.dst());
+        prop_assert!(p.len() <= r.len());
+        // idempotent
+        prop_assert_eq!(p.pruned(), p.clone());
+    }
+
+    #[test]
+    fn pruning_preserves_link_validity(hops in loopy_path(30)) {
+        // every consecutive pair of the pruned route was consecutive
+        // somewhere in the original (so physical validity is preserved)
+        let r = SourceRoute::from_hops(hops);
+        let orig_pairs: std::collections::HashSet<(NodeId, NodeId)> = r
+            .hops()
+            .windows(2)
+            .flat_map(|w| [(w[0], w[1]), (w[1], w[0])])
+            .collect();
+        for w in r.pruned().hops().windows(2) {
+            prop_assert!(orig_pairs.contains(&(w[0], w[1])));
+        }
+    }
+
+    #[test]
+    fn concat_endpoints(a in simple_path(10), b in simple_path(10)) {
+        // join the two paths at a shared node
+        let a = SourceRoute::from_hops(a);
+        let mut hops_b = vec![a.dst()];
+        hops_b.extend(b.into_iter().filter(|&h| h != a.dst()));
+        let b = SourceRoute::from_hops(hops_b);
+        let c = a.concat(&b);
+        prop_assert_eq!(c.src(), a.src());
+        prop_assert_eq!(c.dst(), b.dst());
+        prop_assert!(c.is_simple());
+    }
+
+    #[test]
+    fn cache_interval_invariant(owner: u64, dests in proptest::collection::vec(any::<u64>(), 1..80), base in 2u64..5) {
+        // at most one unpinned entry per (side, interval)
+        let owner = NodeId(owner);
+        let mut cache = RouteCache::with_partition(owner, IntervalPartition::new(base));
+        for d in dests {
+            if d != owner.raw() {
+                cache.insert(SourceRoute::direct(owner, NodeId(d)), false);
+            }
+        }
+        let partition = IntervalPartition::new(base);
+        let mut seen = std::collections::HashSet::new();
+        for (d, _) in cache.iter() {
+            let slot = partition.index(owner, d).unwrap();
+            prop_assert!(seen.insert(slot), "two unpinned entries in {slot:?}");
+        }
+    }
+
+    #[test]
+    fn cache_best_toward_makes_cw_progress(owner: u64, dests in proptest::collection::vec(any::<u64>(), 1..40), target: u64) {
+        let owner = NodeId(owner);
+        let target = NodeId(target);
+        let mut cache = RouteCache::new(owner);
+        for d in dests {
+            if d != owner.raw() {
+                cache.insert(SourceRoute::direct(owner, NodeId(d)), false);
+            }
+        }
+        if let Some((next, _)) = cache.best_toward(target) {
+            // strict progress: next is on the clockwise arc and closer
+            prop_assert!(ssr_types::cw_dist(next, target) < ssr_types::cw_dist(owner, target));
+        }
+    }
+
+    #[test]
+    #[ignore = "slow: full bootstrap per case; run with --ignored"]
+    fn bootstrap_converges_and_routes_on_arbitrary_connected_graphs(
+        n in 4usize..24, seed: u64, p in 0.0f64..0.3
+    ) {
+        let mut rng = Rng::new(seed);
+        let mut g = generators::gnp(n, p, &mut rng);
+        generators::ensure_connected(&mut g, &mut rng);
+        let labels = Labeling::random(n, &mut rng);
+        let mut cfg = BootstrapConfig::default();
+        cfg.seed = seed;
+        cfg.max_ticks = 60_000;
+        let (report, sim) = run_linearized_bootstrap(&g, &labels, &cfg);
+        prop_assert!(report.converged, "no convergence: {report:?}");
+        // no flooding ever
+        prop_assert!(!report.messages.iter().any(|(k, _)| k == "msg.flood"));
+        // greedy routing delivers between all pairs
+        let view = RoutingView::new(sim.protocols());
+        for a in 0..n {
+            for b in 0..n {
+                let (src, dst) = (labels.id(a), labels.id(b));
+                prop_assert!(
+                    view.route(src, dst, 4 * n as u32).delivered(),
+                    "{src} -> {dst} failed"
+                );
+            }
+        }
+    }
+}
+
+/// A smaller, always-run version of the bootstrap property.
+#[test]
+fn bootstrap_converges_on_a_handful_of_connected_graphs() {
+    for seed in 0..8u64 {
+        let mut rng = Rng::new(seed);
+        let n = 6 + (seed as usize % 10);
+        let mut g = generators::gnp(n, 0.2, &mut rng);
+        generators::ensure_connected(&mut g, &mut rng);
+        let labels = Labeling::random(n, &mut rng);
+        let mut cfg = BootstrapConfig::default();
+        cfg.seed = seed;
+        cfg.max_ticks = 60_000;
+        let (report, sim) = run_linearized_bootstrap(&g, &labels, &cfg);
+        assert!(report.converged, "seed {seed}: {report:?}");
+        let view = RoutingView::new(sim.protocols());
+        let mut pairs = 0;
+        for a in 0..n {
+            for b in 0..n {
+                assert!(
+                    view.route(labels.id(a), labels.id(b), 4 * n as u32).delivered(),
+                    "seed {seed}: {} -> {} failed",
+                    labels.id(a),
+                    labels.id(b)
+                );
+                pairs += 1;
+            }
+        }
+        assert_eq!(pairs, n * n);
+        // sanity: the physical graph was connected (bootstrap needs it)
+        assert!(algo::is_connected(&g));
+    }
+}
+
+/// Deterministic replay: same seed, same message counts.
+#[test]
+fn bootstrap_is_deterministic() {
+    let run = || {
+        let mut rng = Rng::new(33);
+        let (g, _) = generators::unit_disk_connected(25, 1.3, &mut rng);
+        let labels = Labeling::random(25, &mut rng);
+        let mut cfg = BootstrapConfig::default();
+        cfg.seed = 99;
+        let (report, _) = run_linearized_bootstrap(&g, &labels, &cfg);
+        (report.ticks, report.total_messages, report.messages.clone())
+    };
+    assert_eq!(run(), run());
+}
+
+/// The graph stays unused if not connected — documents the precondition.
+#[test]
+fn disconnected_graph_cannot_fully_converge() {
+    let g = Graph::new(4); // four isolated nodes
+    let labels = Labeling::sequential(4, 10);
+    let mut cfg = BootstrapConfig::default();
+    cfg.max_ticks = 2_000;
+    let (report, _) = run_linearized_bootstrap(&g, &labels, &cfg);
+    assert!(!report.converged);
+}
+
+proptest! {
+    /// The wire decoder is total: arbitrary bytes either decode or error,
+    /// never panic — and every encoded message round-trips.
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let mut buf = bytes::Bytes::from(bytes);
+        let _ = ssr_core::message::decode(&mut buf);
+    }
+
+    #[test]
+    fn encoded_messages_roundtrip(
+        route in proptest::collection::vec(any::<u64>(), 2..20),
+        target in proptest::collection::vec(any::<u64>(), 1..20),
+        reply in proptest::collection::vec(any::<u64>(), 1..20),
+        pos in 0usize..10,
+        seq: u32,
+    ) {
+        use ssr_core::message::{decode, encode_to_bytes, ForwardEnvelope, Payload, SsrMsg};
+        let msg = SsrMsg::Forward(ForwardEnvelope {
+            route: route.into_iter().map(NodeId).collect(),
+            pos,
+            trace: vec![],
+            payload: Payload::Notify {
+                initiator: NodeId(1),
+                target_route: target.into_iter().map(NodeId).collect(),
+                reply_route: reply.into_iter().map(NodeId).collect(),
+                seq: ssr_types::SeqNo(seq),
+            },
+        });
+        let mut buf = encode_to_bytes(&msg);
+        prop_assert_eq!(decode(&mut buf).unwrap(), msg);
+    }
+}

@@ -1,0 +1,221 @@
+//! Classic graph algorithms used across the workspace.
+//!
+//! The consistency checkers need connectivity and component structure ("the
+//! network will not be partitioned if it was connected at the beginning");
+//! the routing-stretch experiment (E7) needs unweighted shortest paths; the
+//! convergence experiments report topology diameters for context.
+
+use std::collections::VecDeque;
+
+use crate::Graph;
+
+/// Marker for "unreachable" in BFS distance arrays.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS distances from `src`; `UNREACHABLE` where no path exists.
+pub fn bfs_distances(g: &Graph, src: usize) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[src] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u];
+        for v in g.neighbors(u) {
+            if dist[v] == UNREACHABLE {
+                dist[v] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// One shortest path from `src` to `dst` (inclusive of both ends), or `None`
+/// if unreachable. Deterministic: among equal-length paths the smallest
+/// predecessor index wins.
+pub fn shortest_path(g: &Graph, src: usize, dst: usize) -> Option<Vec<usize>> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let mut parent = vec![usize::MAX; g.node_count()];
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[src] = 0;
+    queue.push_back(src);
+    'search: while let Some(u) = queue.pop_front() {
+        for v in g.neighbors(u) {
+            if dist[v] == UNREACHABLE {
+                dist[v] = dist[u] + 1;
+                parent[v] = u;
+                if v == dst {
+                    break 'search;
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    if dist[dst] == UNREACHABLE {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = parent[cur];
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Connected-component label per node; labels are the smallest node index in
+/// each component. Also returns the number of components.
+pub fn components(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.node_count();
+    let mut label = vec![usize::MAX; n];
+    let mut count = 0;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        count += 1;
+        label[start] = start;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for v in g.neighbors(u) {
+                if label[v] == usize::MAX {
+                    label[v] = start;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    (label, count)
+}
+
+/// `true` iff the graph is connected (vacuously true for `n <= 1`).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.node_count() <= 1 {
+        return true;
+    }
+    let dist = bfs_distances(g, 0);
+    dist.iter().all(|&d| d != UNREACHABLE)
+}
+
+/// Eccentricity of `src` (max BFS distance); `None` if the graph is
+/// disconnected from `src`.
+pub fn eccentricity(g: &Graph, src: usize) -> Option<u32> {
+    let dist = bfs_distances(g, src);
+    let mut max = 0;
+    for &d in &dist {
+        if d == UNREACHABLE {
+            return None;
+        }
+        max = max.max(d);
+    }
+    Some(max)
+}
+
+/// Exact diameter by all-pairs BFS — O(n·m), fine for the experiment sizes
+/// where it is reported. `None` for disconnected graphs.
+pub fn diameter_exact(g: &Graph) -> Option<u32> {
+    let mut max = 0;
+    for u in 0..g.node_count() {
+        max = max.max(eccentricity(g, u)?);
+    }
+    Some(max)
+}
+
+/// Double-sweep lower bound on the diameter: BFS from `start`, then BFS from
+/// the farthest node found. Exact on trees; a good estimate elsewhere.
+pub fn diameter_double_sweep(g: &Graph, start: usize) -> Option<u32> {
+    let d1 = bfs_distances(g, start);
+    let (far, &best) = d1.iter().enumerate().max_by_key(|(_, &d)| d)?;
+    if best == UNREACHABLE {
+        return None;
+    }
+    eccentricity(g, far)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn path5() -> Graph {
+        Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let d = bfs_distances(&path5(), 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_length() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 5), (0, 3), (3, 4), (4, 5)]);
+        let p = shortest_path(&g, 0, 5).unwrap();
+        assert_eq!(p.first(), Some(&0));
+        assert_eq!(p.last(), Some(&5));
+        assert_eq!(p.len(), 4); // both 0-1-2-5 and 0-3-4-5 have 3 hops
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn shortest_path_trivial_and_missing() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        assert_eq!(shortest_path(&g, 1, 1), Some(vec![1]));
+        assert_eq!(shortest_path(&g, 0, 2), None);
+    }
+
+    #[test]
+    fn components_count_and_labels() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (4, 5)]);
+        let (label, count) = components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(label[0], label[2]);
+        assert_eq!(label[4], label[5]);
+        assert_ne!(label[0], label[3]);
+        assert_eq!(label[3], 3);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(is_connected(&path5()));
+        assert!(is_connected(&Graph::new(1)));
+        assert!(is_connected(&Graph::new(0)));
+        assert!(!is_connected(&Graph::new(2)));
+    }
+
+    #[test]
+    fn diameter_of_path_and_cycle() {
+        assert_eq!(diameter_exact(&path5()), Some(4));
+        let cycle = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        assert_eq!(diameter_exact(&cycle), Some(3));
+        assert_eq!(diameter_exact(&Graph::new(2)), None);
+    }
+
+    #[test]
+    fn double_sweep_is_exact_on_trees() {
+        let tree = Graph::from_edges(7, [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (5, 6)]);
+        assert_eq!(diameter_double_sweep(&tree, 0), diameter_exact(&tree));
+    }
+
+    #[test]
+    fn eccentricity_center_vs_leaf() {
+        let g = path5();
+        assert_eq!(eccentricity(&g, 2), Some(2));
+        assert_eq!(eccentricity(&g, 0), Some(4));
+    }
+}

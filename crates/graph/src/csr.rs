@@ -1,0 +1,115 @@
+//! Compressed sparse row (CSR) snapshot of a graph.
+//!
+//! The discrete-event simulator walks physical neighbor lists on every
+//! message hop; a CSR snapshot keeps that walk allocation-free and cache
+//! friendly (one contiguous `u32` array) while the mutable [`Graph`] stays
+//! the representation of record for topology *changes*.
+
+use crate::Graph;
+
+/// An immutable CSR view of an undirected graph.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    /// `offsets[u]..offsets[u+1]` indexes `targets` for node `u`.
+    offsets: Vec<u32>,
+    /// Concatenated, per-node-sorted neighbor lists.
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Snapshots a [`Graph`].
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * g.edge_count());
+        offsets.push(0u32);
+        for u in 0..n {
+            for v in g.neighbors(u) {
+                targets.push(v as u32);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        (self.offsets[u + 1] - self.offsets[u]) as usize
+    }
+
+    /// Neighbors of `u`, ascending.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.targets[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
+
+    /// Binary-search membership test.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.neighbors(u).binary_search(&(v as u32)).is_ok()
+    }
+}
+
+impl From<&Graph> for Csr {
+    fn from(g: &Graph) -> Self {
+        Csr::from_graph(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        Graph::from_edges(5, [(0, 1), (0, 4), (1, 2), (2, 3), (3, 4), (1, 4)])
+    }
+
+    #[test]
+    fn snapshot_matches_graph() {
+        let g = sample();
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.node_count(), 5);
+        assert_eq!(csr.edge_count(), g.edge_count());
+        for u in 0..5 {
+            assert_eq!(csr.degree(u), g.degree(u));
+            assert_eq!(
+                csr.neighbors(u).iter().map(|&v| v as usize).collect::<Vec<_>>(),
+                g.neighbors(u).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn has_edge_agrees() {
+        let g = sample();
+        let csr: Csr = (&g).into();
+        for u in 0..5 {
+            for v in 0..5 {
+                if u != v {
+                    assert_eq!(csr.has_edge(u, v), g.has_edge(u, v), "({u},{v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let csr = Csr::from_graph(&Graph::new(3));
+        assert_eq!(csr.node_count(), 3);
+        assert_eq!(csr.edge_count(), 0);
+        assert!(csr.neighbors(1).is_empty());
+    }
+}

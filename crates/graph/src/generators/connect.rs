@@ -1,0 +1,108 @@
+//! Connectivity patching.
+//!
+//! Linearization preserves connectedness but cannot create it: "assuming
+//! trivially that the physical network graph is connected". Generators whose
+//! samples can be fragmented (`G(n,p)` below the threshold, configuration
+//! models, sparse unit-disk graphs) are patched here by adding uniformly
+//! random inter-component edges until one component remains.
+
+use ssr_types::Rng;
+
+use crate::{algo, Graph};
+
+/// Adds random edges between components until the graph is connected.
+/// Returns the number of edges added. Deterministic given the RNG state.
+pub fn ensure_connected(g: &mut Graph, rng: &mut Rng) -> usize {
+    let n = g.node_count();
+    if n <= 1 {
+        return 0;
+    }
+    let mut added = 0;
+    loop {
+        let (label, count) = algo::components(g);
+        if count <= 1 {
+            return added;
+        }
+        // Pick one representative per component, shuffle, and chain them.
+        let mut reps: Vec<usize> = Vec::with_capacity(count);
+        let mut seen = std::collections::HashSet::with_capacity(count);
+        for u in 0..n {
+            if seen.insert(label[u]) {
+                reps.push(u);
+            }
+        }
+        rng.shuffle(&mut reps);
+        for w in reps.windows(2) {
+            // Attach at a random node of each component, not always the rep,
+            // to avoid creating artificial hubs.
+            let a = random_member(&label, label[w[0]], rng, n);
+            let b = random_member(&label, label[w[1]], rng, n);
+            if g.add_edge(a, b) {
+                added += 1;
+            }
+        }
+    }
+}
+
+fn random_member(label: &[usize], component: usize, rng: &mut Rng, n: usize) -> usize {
+    // Rejection sampling; components found this way are non-empty.
+    loop {
+        let u = rng.index(n);
+        if label[u] == component {
+            return u;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn already_connected_is_noop() {
+        let mut g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        assert_eq!(ensure_connected(&mut g, &mut Rng::new(1)), 0);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn connects_isolated_nodes() {
+        let mut g = Graph::new(10);
+        let added = ensure_connected(&mut g, &mut Rng::new(2));
+        assert!(algo::is_connected(&g));
+        assert_eq!(added, 9, "a spanning structure over 10 singletons needs 9 edges");
+    }
+
+    #[test]
+    fn connects_two_cliques() {
+        let mut edges = vec![];
+        for u in 0..4 {
+            for v in (u + 1)..4 {
+                edges.push((u, v));
+                edges.push((u + 4, v + 4));
+            }
+        }
+        let mut g = Graph::from_edges(8, edges);
+        let added = ensure_connected(&mut g, &mut Rng::new(3));
+        assert!(algo::is_connected(&g));
+        assert_eq!(added, 1);
+    }
+
+    #[test]
+    fn trivial_graphs() {
+        let mut g0 = Graph::new(0);
+        assert_eq!(ensure_connected(&mut g0, &mut Rng::new(4)), 0);
+        let mut g1 = Graph::new(1);
+        assert_eq!(ensure_connected(&mut g1, &mut Rng::new(4)), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let build = || {
+            let mut g = Graph::new(20);
+            ensure_connected(&mut g, &mut Rng::new(5));
+            g.edges().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,205 @@
+//! Random geometric (unit-disk) graphs — the standard abstraction of the
+//! wireless multi-hop networks (MANETs, sensor/actuator networks) that SSR
+//! targets: "nodes are physical neighbors when they are in reach of each
+//! other's radio links".
+
+use ssr_types::Rng;
+
+use crate::{algo, Graph};
+
+/// A point in the unit square.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point {
+    /// x coordinate in `[0, 1)`.
+    pub x: f64,
+    /// y coordinate in `[0, 1)`.
+    pub y: f64,
+}
+
+impl Point {
+    /// Squared Euclidean distance.
+    #[inline]
+    pub fn dist2(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+/// Random geometric graph: `n` nodes uniform in the unit square, an edge
+/// whenever two nodes are within `radius`. Returns the graph and the node
+/// positions (the MANET experiments report them in traces). Uses a grid
+/// bucket index, so construction is near-linear for the sparse radii used in
+/// practice.
+pub fn random_geometric(n: usize, radius: f64, rng: &mut Rng) -> (Graph, Vec<Point>) {
+    assert!(radius > 0.0, "radius must be positive");
+    let points: Vec<Point> = (0..n)
+        .map(|_| Point {
+            x: rng.f64(),
+            y: rng.f64(),
+        })
+        .collect();
+    let g = geometric_from_points(&points, radius);
+    (g, points)
+}
+
+/// Builds the unit-disk graph induced by explicit positions.
+pub fn geometric_from_points(points: &[Point], radius: f64) -> Graph {
+    let n = points.len();
+    let mut g = Graph::new(n);
+    let cell = radius.max(1e-9);
+    let cells_per_side = ((1.0 / cell).ceil() as usize).max(1);
+    let cell_of = |p: Point| -> (usize, usize) {
+        (
+            ((p.x / cell) as usize).min(cells_per_side - 1),
+            ((p.y / cell) as usize).min(cells_per_side - 1),
+        )
+    };
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); cells_per_side * cells_per_side];
+    for (i, &p) in points.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        buckets[cy * cells_per_side + cx].push(i as u32);
+    }
+    let r2 = radius * radius;
+    for (i, &p) in points.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let nx = cx as i64 + dx;
+                let ny = cy as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= cells_per_side as i64 || ny >= cells_per_side as i64 {
+                    continue;
+                }
+                for &j in &buckets[ny as usize * cells_per_side + nx as usize] {
+                    let j = j as usize;
+                    if j > i && p.dist2(points[j]) <= r2 {
+                        g.add_edge(i, j);
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+/// The radius at which a random geometric graph becomes connected w.h.p.:
+/// `sqrt(ln n / (π n))` — used as the default for experiment topologies,
+/// typically scaled by 1.2–1.5 for margin.
+pub fn connectivity_radius(n: usize) -> f64 {
+    assert!(n >= 2);
+    ((n as f64).ln() / (std::f64::consts::PI * n as f64)).sqrt()
+}
+
+/// A *connected* unit-disk graph: generates at `scale ×` the connectivity
+/// threshold radius and, if the sample still has stragglers, patches the
+/// remaining components together with the shortest bridging edges
+/// (equivalent to slightly raising those nodes' transmit power — documented
+/// substitution, the paper assumes a connected physical graph).
+pub fn unit_disk_connected(n: usize, scale: f64, rng: &mut Rng) -> (Graph, Vec<Point>) {
+    let radius = connectivity_radius(n) * scale;
+    let (mut g, points) = random_geometric(n, radius, rng);
+    if !algo::is_connected(&g) {
+        bridge_components_by_distance(&mut g, &points);
+    }
+    (g, points)
+}
+
+/// Connects components by repeatedly adding the geometrically shortest edge
+/// between the component of node 0 and the rest.
+fn bridge_components_by_distance(g: &mut Graph, points: &[Point]) {
+    loop {
+        let (label, count) = algo::components(g);
+        if count <= 1 {
+            return;
+        }
+        let main = label[0];
+        let mut best: Option<(f64, usize, usize)> = None;
+        for u in 0..g.node_count() {
+            if label[u] != main {
+                continue;
+            }
+            for v in 0..g.node_count() {
+                if label[v] == main {
+                    continue;
+                }
+                let d = points[u].dist2(points[v]);
+                if best.map(|(bd, _, _)| d < bd).unwrap_or(true) {
+                    best = Some((d, u, v));
+                }
+            }
+        }
+        let (_, u, v) = best.expect("disconnected graph must have a bridging pair");
+        g.add_edge(u, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radius_zero_point_one_links_close_pairs() {
+        let pts = vec![
+            Point { x: 0.10, y: 0.10 },
+            Point { x: 0.15, y: 0.10 }, // 0.05 from node 0
+            Point { x: 0.90, y: 0.90 }, // far away
+        ];
+        let g = geometric_from_points(&pts, 0.1);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn grid_index_agrees_with_brute_force() {
+        let mut rng = Rng::new(1);
+        let (g, pts) = random_geometric(150, 0.13, &mut rng);
+        let r2 = 0.13 * 0.13;
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                assert_eq!(
+                    g.has_edge(i, j),
+                    pts[i].dist2(pts[j]) <= r2,
+                    "pair ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn connectivity_radius_shrinks_with_n() {
+        assert!(connectivity_radius(100) > connectivity_radius(1000));
+        assert!(connectivity_radius(1000) > connectivity_radius(10000));
+    }
+
+    #[test]
+    fn unit_disk_connected_is_connected() {
+        for seed in 0..5 {
+            let mut rng = Rng::new(seed);
+            let (g, _) = unit_disk_connected(200, 1.2, &mut rng);
+            assert!(algo::is_connected(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn unit_disk_connected_even_at_tiny_scale() {
+        // scale far below the threshold: bridging must still connect it
+        let mut rng = Rng::new(9);
+        let (g, _) = unit_disk_connected(100, 0.3, &mut rng);
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let (a, _) = random_geometric(100, 0.15, &mut Rng::new(42));
+        let (b, _) = random_geometric(100, 0.15, &mut Rng::new(42));
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ensure_connected_reexport_compiles() {
+        let mut g = Graph::new(3);
+        crate::generators::ensure_connected(&mut g, &mut Rng::new(0));
+        assert!(algo::is_connected(&g));
+    }
+}

@@ -1,0 +1,187 @@
+//! Deterministic lattice/structured topologies: figures, unit tests, and
+//! worst-case inputs (e.g. pure linearization is slowest on paths and
+//! pre-sorted stars).
+
+use crate::Graph;
+
+/// A cycle `0 – 1 – … – (n-1) – 0`.
+///
+/// # Panics
+/// Panics for `n < 3`.
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3, "a ring needs at least 3 nodes");
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        g.add_edge(u, (u + 1) % n);
+    }
+    g
+}
+
+/// A path `0 – 1 – … – (n-1)`.
+pub fn line(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 1..n {
+        g.add_edge(u - 1, u);
+    }
+    g
+}
+
+/// A `w × h` grid with 4-neighborhood; node `(x, y)` has index `y*w + x`.
+pub fn grid(w: usize, h: usize) -> Graph {
+    let mut g = Graph::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let u = y * w + x;
+            if x + 1 < w {
+                g.add_edge(u, u + 1);
+            }
+            if y + 1 < h {
+                g.add_edge(u, u + w);
+            }
+        }
+    }
+    g
+}
+
+/// A `w × h` torus (grid with wrap-around rows and columns).
+///
+/// # Panics
+/// Panics if either dimension is below 3 (wrap-around would create parallel
+/// edges or self-loops).
+pub fn torus(w: usize, h: usize) -> Graph {
+    assert!(w >= 3 && h >= 3, "torus dimensions must be at least 3");
+    let mut g = Graph::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let u = y * w + x;
+            g.add_edge(u, y * w + (x + 1) % w);
+            g.add_edge(u, ((y + 1) % h) * w + x);
+        }
+    }
+    g
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// A star: node 0 adjacent to all others.
+///
+/// # Panics
+/// Panics for `n < 2`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2, "a star needs a center and at least one leaf");
+    let mut g = Graph::new(n);
+    for u in 1..n {
+        g.add_edge(0, u);
+    }
+    g
+}
+
+/// A balanced `arity`-ary tree of the given `depth` (depth 0 = single root).
+pub fn balanced_tree(arity: usize, depth: usize) -> Graph {
+    assert!(arity >= 1, "arity must be positive");
+    // node count = (arity^(depth+1) - 1) / (arity - 1), or depth+1 for arity 1
+    let n = if arity == 1 {
+        depth + 1
+    } else {
+        (arity.pow(depth as u32 + 1) - 1) / (arity - 1)
+    };
+    let mut g = Graph::new(n);
+    // children of u are arity*u + 1 ..= arity*u + arity
+    for u in 0..n {
+        for c in 1..=arity {
+            let child = arity * u + c;
+            if child < n {
+                g.add_edge(u, child);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(5);
+        assert_eq!(g.edge_count(), 5);
+        for u in 0..5 {
+            assert_eq!(g.degree(u), 2);
+        }
+        assert_eq!(algo::diameter_exact(&g), Some(2));
+    }
+
+    #[test]
+    fn line_shape() {
+        let g = line(5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(algo::diameter_exact(&g), Some(4));
+    }
+
+    #[test]
+    fn line_degenerate() {
+        assert_eq!(line(0).node_count(), 0);
+        assert_eq!(line(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4); // h*(w-1) + (h-1)*w = 9+8... check
+        assert_eq!(g.edge_count(), 4 * 2 + 3 * 3); // 17
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(4), 4); // center (1,1)
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(4, 5);
+        for u in 0..20 {
+            assert_eq!(g.degree(u), 4);
+        }
+        assert_eq!(g.edge_count(), 40);
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(algo::diameter_exact(&g), Some(1));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert_eq!(g.degree(0), 6);
+        for u in 1..7 {
+            assert_eq!(g.degree(u), 1);
+        }
+    }
+
+    #[test]
+    fn balanced_tree_shape() {
+        let g = balanced_tree(2, 3); // 15 nodes
+        assert_eq!(g.node_count(), 15);
+        assert_eq!(g.edge_count(), 14);
+        assert!(algo::is_connected(&g));
+        assert_eq!(algo::diameter_exact(&g), Some(6));
+        let unary = balanced_tree(1, 4);
+        assert_eq!(unary.node_count(), 5);
+        assert_eq!(unary.edge_count(), 4);
+    }
+}

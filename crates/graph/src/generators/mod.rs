@@ -1,0 +1,32 @@
+//! Synthetic topology generators.
+//!
+//! Every experiment in the reproduction runs on one of these families:
+//!
+//! * [`random`] — Erdős–Rényi `G(n,p)` / `G(n,m)` and random `d`-regular
+//!   graphs (the Onus et al. convergence experiments, E4),
+//! * [`powerlaw`] — preferential-attachment and configuration-model
+//!   power-law graphs (the "α = 2 converges in < 39 rounds" claim, E5),
+//! * [`geometric`] — random geometric / unit-disk graphs, the standard model
+//!   of the wireless MANET/sensor networks that motivate SSR (E6–E10),
+//! * [`lattice`] — rings, lines, grids, stars, trees, complete graphs (unit
+//!   tests, figures, worst cases),
+//! * [`smallworld`] — Watts–Strogatz rewiring (extra convergence family).
+//!
+//! All generators are deterministic functions of `(parameters, rng seed)`.
+//! [`connect::ensure_connected`] patches a possibly-fragmented graph into a
+//! connected one (documented substitution: the paper assumes "trivially that
+//! the physical network graph is connected").
+
+pub mod connect;
+pub mod geometric;
+pub mod lattice;
+pub mod powerlaw;
+pub mod random;
+pub mod smallworld;
+
+pub use connect::ensure_connected;
+pub use geometric::{random_geometric, unit_disk_connected};
+pub use lattice::{balanced_tree, complete, grid, line, ring, star, torus};
+pub use powerlaw::{barabasi_albert, powerlaw_configuration};
+pub use random::{gnm, gnp, random_regular};
+pub use smallworld::watts_strogatz;

@@ -1,0 +1,182 @@
+//! Power-law (scale-free) topology generators.
+//!
+//! The paper quotes Onus et al.: linearization with shortcut neighbors
+//! converges quickly "for regular random graphs as well as for power law
+//! graphs (e.g. a power law graph with α = 2 converges in less than 39
+//! rounds)". Experiment E5 reproduces that claim on graphs from the two
+//! standard scale-free constructions implemented here.
+
+use ssr_types::Rng;
+
+use crate::Graph;
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new node to `m` existing nodes with probability
+/// proportional to their degree. Produces a connected graph with a power-law
+/// degree tail (exponent ≈ 3).
+///
+/// # Panics
+/// Panics if `m == 0` or `n <= m`.
+pub fn barabasi_albert(n: usize, m: usize, rng: &mut Rng) -> Graph {
+    assert!(m >= 1, "attachment count must be positive");
+    assert!(n > m, "need more nodes than attachments");
+    let mut g = Graph::new(n);
+    // Seed: clique on m+1 nodes.
+    for u in 0..=m {
+        for v in (u + 1)..=m {
+            g.add_edge(u, v);
+        }
+    }
+    // `endpoints` holds every edge endpoint once; sampling from it is
+    // sampling proportional to degree.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * m * n);
+    for (u, v) in g.edges().collect::<Vec<_>>() {
+        endpoints.push(u as u32);
+        endpoints.push(v as u32);
+    }
+    for new in (m + 1)..n {
+        let mut chosen: Vec<usize> = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let t = endpoints[rng.index(endpoints.len())] as usize;
+            if t != new && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            g.add_edge(new, t);
+            endpoints.push(new as u32);
+            endpoints.push(t as u32);
+        }
+    }
+    g
+}
+
+/// Erased configuration model with degrees drawn from a discrete power law
+/// `P(k) ∝ k^{-alpha}` on `k ∈ [min_deg, max_deg]`. Self-loops and duplicate
+/// edges from the stub matching are *erased* (the standard simple-graph
+/// projection), so realized degrees can be slightly below the drawn ones.
+///
+/// `max_deg` defaults to `√n·min_deg` when `None` — the structural cutoff
+/// that keeps the erasure distortion small.
+pub fn powerlaw_configuration(
+    n: usize,
+    alpha: f64,
+    min_deg: usize,
+    max_deg: Option<usize>,
+    rng: &mut Rng,
+) -> Graph {
+    assert!(alpha > 0.0, "exponent must be positive");
+    assert!(min_deg >= 1, "minimum degree must be at least 1");
+    let max_deg = max_deg
+        .unwrap_or_else(|| ((n as f64).sqrt() as usize * min_deg).max(min_deg + 1))
+        .min(n.saturating_sub(1))
+        .max(min_deg);
+
+    // Inverse-CDF table over k = min_deg ..= max_deg.
+    let weights: Vec<f64> = (min_deg..=max_deg).map(|k| (k as f64).powf(-alpha)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+
+    let sample_degree = |rng: &mut Rng| -> usize {
+        let r = rng.f64();
+        let idx = cdf.partition_point(|&c| c < r).min(cdf.len() - 1);
+        min_deg + idx
+    };
+
+    let mut degrees: Vec<usize> = (0..n).map(|_| sample_degree(rng)).collect();
+    if degrees.iter().sum::<usize>() % 2 == 1 {
+        // Make the stub count even by bumping one node.
+        degrees[rng.index(n)] += 1;
+    }
+
+    let mut stubs: Vec<u32> = Vec::with_capacity(degrees.iter().sum());
+    for (u, &d) in degrees.iter().enumerate() {
+        for _ in 0..d {
+            stubs.push(u as u32);
+        }
+    }
+    rng.shuffle(&mut stubs);
+
+    let mut g = Graph::new(n);
+    for pair in stubs.chunks_exact(2) {
+        let (u, v) = (pair[0] as usize, pair[1] as usize);
+        if u != v {
+            g.add_edge(u, v); // duplicate edges merge silently (erasure)
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn ba_node_and_edge_counts() {
+        let mut rng = Rng::new(1);
+        let (n, m) = (200, 3);
+        let g = barabasi_albert(n, m, &mut rng);
+        assert_eq!(g.node_count(), n);
+        // clique edges + m per later node
+        assert_eq!(g.edge_count(), m * (m + 1) / 2 + (n - m - 1) * m);
+    }
+
+    #[test]
+    fn ba_is_connected_with_min_degree() {
+        let g = barabasi_albert(500, 2, &mut Rng::new(2));
+        assert!(algo::is_connected(&g));
+        let (min, _, _) = g.degree_stats();
+        assert!(min >= 2);
+    }
+
+    #[test]
+    fn ba_has_heavy_tail() {
+        let g = barabasi_albert(2000, 2, &mut Rng::new(3));
+        let (_, max, mean) = g.degree_stats();
+        // scale-free hubs: max degree far above the mean
+        assert!(max as f64 > 8.0 * mean, "max {max}, mean {mean}");
+    }
+
+    #[test]
+    fn config_model_degree_bounds() {
+        let g = powerlaw_configuration(1000, 2.0, 2, None, &mut Rng::new(4));
+        assert_eq!(g.node_count(), 1000);
+        let (_, max, mean) = g.degree_stats();
+        assert!(mean >= 1.5, "mean degree {mean} too low");
+        assert!(max <= 999);
+    }
+
+    #[test]
+    fn config_model_alpha_controls_tail() {
+        // smaller alpha = heavier tail = larger max degree
+        let heavy = powerlaw_configuration(3000, 1.8, 2, None, &mut Rng::new(5));
+        let light = powerlaw_configuration(3000, 3.5, 2, None, &mut Rng::new(5));
+        let (_, max_heavy, _) = heavy.degree_stats();
+        let (_, max_light, _) = light.degree_stats();
+        assert!(
+            max_heavy > max_light,
+            "alpha=1.8 max {max_heavy} should exceed alpha=3.5 max {max_light}"
+        );
+    }
+
+    #[test]
+    fn config_model_deterministic() {
+        let a = powerlaw_configuration(300, 2.0, 2, None, &mut Rng::new(6));
+        let b = powerlaw_configuration(300, 2.0, 2, None, &mut Rng::new(6));
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn config_model_respects_explicit_cutoff() {
+        let g = powerlaw_configuration(500, 2.0, 1, Some(5), &mut Rng::new(7));
+        let (_, max, _) = g.degree_stats();
+        // erased model can only lower degrees; the odd-sum bump adds at most 1
+        assert!(max <= 6, "max degree {max} exceeds cutoff");
+    }
+}

@@ -1,0 +1,171 @@
+//! Erdős–Rényi and random-regular generators.
+
+use ssr_types::Rng;
+
+use crate::Graph;
+
+/// Erdős–Rényi `G(n, p)`: every pair is an edge independently with
+/// probability `p`. Uses geometric skipping, so the cost is proportional to
+/// the number of edges produced, not to `n²`.
+pub fn gnp(n: usize, p: f64, rng: &mut Rng) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut g = Graph::new(n);
+    if p <= 0.0 || n < 2 {
+        return g;
+    }
+    if p >= 1.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u, v);
+            }
+        }
+        return g;
+    }
+    // Walk the strictly-upper-triangular pair sequence with geometric jumps.
+    let lq = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    let n = n as i64;
+    loop {
+        let r = rng.f64();
+        // number of pairs to skip ~ Geometric(p)
+        w += 1 + ((1.0 - r).ln() / lq).floor() as i64;
+        while w >= v && v < n {
+            w -= v;
+            v += 1;
+        }
+        if v >= n {
+            break;
+        }
+        g.add_edge(w as usize, v as usize);
+    }
+    g
+}
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct edges, uniformly.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges.
+pub fn gnm(n: usize, m: usize, rng: &mut Rng) -> Graph {
+    let possible = n * n.saturating_sub(1) / 2;
+    assert!(m <= possible, "m = {m} exceeds {possible} possible edges");
+    let mut g = Graph::new(n);
+    let mut placed = 0;
+    while placed < m {
+        let u = rng.index(n);
+        let v = rng.index(n);
+        if u != v && g.add_edge(u, v) {
+            placed += 1;
+        }
+    }
+    g
+}
+
+/// A uniform-ish random `d`-regular graph via the pairing (configuration)
+/// model with restarts: `d` stubs per node are matched uniformly; matchings
+/// containing self-loops or duplicate edges are rejected and retried. For
+/// the `d` used in the experiments (3–8) restarts are cheap.
+///
+/// # Panics
+/// Panics if `n * d` is odd or `d >= n`.
+pub fn random_regular(n: usize, d: usize, rng: &mut Rng) -> Graph {
+    assert!((n * d).is_multiple_of(2), "n*d must be even");
+    assert!(d < n, "degree must be below n");
+    if d == 0 {
+        return Graph::new(n);
+    }
+    let mut stubs: Vec<u32> = Vec::with_capacity(n * d);
+    'restart: loop {
+        stubs.clear();
+        for u in 0..n {
+            for _ in 0..d {
+                stubs.push(u as u32);
+            }
+        }
+        rng.shuffle(&mut stubs);
+        let mut g = Graph::new(n);
+        for pair in stubs.chunks_exact(2) {
+            let (u, v) = (pair[0] as usize, pair[1] as usize);
+            if u == v || g.has_edge(u, v) {
+                continue 'restart;
+            }
+            g.add_edge(u, v);
+        }
+        return g;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = Rng::new(1);
+        assert_eq!(gnp(10, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(gnp(10, 1.0, &mut rng).edge_count(), 45);
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let mut rng = Rng::new(2);
+        let n = 400;
+        let p = 0.05;
+        let m = gnp(n, p, &mut rng).edge_count() as f64;
+        let expected = p * (n * (n - 1) / 2) as f64; // 3990
+        assert!((m - expected).abs() < 0.15 * expected, "m = {m}, expected ~{expected}");
+    }
+
+    #[test]
+    fn gnp_deterministic() {
+        let a = gnp(50, 0.1, &mut Rng::new(7));
+        let b = gnp(50, 0.1, &mut Rng::new(7));
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gnm_exact_count() {
+        let mut rng = Rng::new(3);
+        let g = gnm(30, 100, &mut rng);
+        assert_eq!(g.edge_count(), 100);
+        assert_eq!(g.node_count(), 30);
+    }
+
+    #[test]
+    fn gnm_full() {
+        let mut rng = Rng::new(4);
+        let g = gnm(8, 28, &mut rng);
+        assert_eq!(g.edge_count(), 28);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn gnm_too_many_edges() {
+        gnm(4, 7, &mut Rng::new(0));
+    }
+
+    #[test]
+    fn regular_has_uniform_degree() {
+        let mut rng = Rng::new(5);
+        for (n, d) in [(20, 3), (40, 4), (64, 6)] {
+            let g = random_regular(n, d, &mut rng);
+            for u in 0..n {
+                assert_eq!(g.degree(u), d, "node {u} in {n}-node {d}-regular");
+            }
+        }
+    }
+
+    #[test]
+    fn regular_is_usually_connected() {
+        // d >= 3 random regular graphs are connected w.h.p.
+        let g = random_regular(100, 3, &mut Rng::new(6));
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn regular_degree_zero() {
+        let g = random_regular(10, 0, &mut Rng::new(8));
+        assert_eq!(g.edge_count(), 0);
+    }
+}

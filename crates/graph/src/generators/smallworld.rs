@@ -1,0 +1,102 @@
+//! Watts–Strogatz small-world graphs: a ring lattice with random rewiring.
+//! Included as an extra convergence family for experiment E4 — it
+//! interpolates between the (slow) ring lattice and a random graph.
+
+use ssr_types::Rng;
+
+use crate::Graph;
+
+/// Watts–Strogatz: start from a ring lattice where each node connects to its
+/// `k` nearest neighbors (`k` even), then rewire each lattice edge's far
+/// endpoint with probability `beta` to a uniformly random non-neighbor.
+///
+/// # Panics
+/// Panics unless `k` is even, `k >= 2`, and `n > k`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, rng: &mut Rng) -> Graph {
+    assert!(k.is_multiple_of(2) && k >= 2, "k must be even and positive");
+    assert!(n > k, "need n > k");
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            g.add_edge(u, (u + j) % n);
+        }
+    }
+    if beta == 0.0 {
+        return g;
+    }
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let v = (u + j) % n;
+            if !rng.chance(beta) {
+                continue;
+            }
+            // pick a new endpoint w != u, not already adjacent
+            if g.degree(u) >= n - 1 {
+                continue; // saturated, nothing to rewire to
+            }
+            let w = loop {
+                let cand = rng.index(n);
+                if cand != u && !g.has_edge(u, cand) {
+                    break cand;
+                }
+            };
+            // the edge may have been rewired away already by an earlier step
+            if g.remove_edge(u, v) {
+                g.add_edge(u, w);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn beta_zero_is_ring_lattice() {
+        let g = watts_strogatz(12, 4, 0.0, &mut Rng::new(1));
+        for u in 0..12 {
+            assert_eq!(g.degree(u), 4);
+        }
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(0, 11));
+        assert!(g.has_edge(0, 10));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn edge_count_preserved_by_rewiring() {
+        let g = watts_strogatz(100, 6, 0.3, &mut Rng::new(2));
+        assert_eq!(g.edge_count(), 100 * 3);
+    }
+
+    #[test]
+    fn rewiring_shrinks_diameter() {
+        let lattice = watts_strogatz(200, 4, 0.0, &mut Rng::new(3));
+        let small_world = watts_strogatz(200, 4, 0.2, &mut Rng::new(3));
+        let d0 = algo::diameter_exact(&lattice).unwrap();
+        let d1 = algo::diameter_double_sweep(&small_world, 0);
+        assert!(algo::is_connected(&small_world));
+        assert!(d1.unwrap() < d0, "small world {d1:?} not below lattice {d0}");
+    }
+
+    #[test]
+    fn beta_one_still_valid_simple_graph() {
+        let g = watts_strogatz(60, 4, 1.0, &mut Rng::new(4));
+        assert_eq!(g.edge_count(), 120);
+        for u in 0..60 {
+            assert!(!g.has_edge(u, u));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = watts_strogatz(50, 4, 0.5, &mut Rng::new(5));
+        let b = watts_strogatz(50, 4, 0.5, &mut Rng::new(5));
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+}

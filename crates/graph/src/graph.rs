@@ -1,0 +1,199 @@
+//! A mutable undirected simple graph with deterministic iteration order.
+//!
+//! Nodes are dense indices `0..n`. Adjacency is stored as one ordered set
+//! per node (`BTreeSet<u32>`), which the linearization engine relies on:
+//! "sort the neighbors by identifier" is a plain in-order walk, and
+//! iteration order — hence every simulation — is reproducible.
+
+use std::collections::BTreeSet;
+
+/// An undirected simple graph (no self-loops, no parallel edges) over nodes
+/// `0..n`.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    adj: Vec<BTreeSet<u32>>,
+}
+
+impl Graph {
+    /// An empty graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "graph too large for u32 indices");
+        Graph {
+            adj: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Builds a graph from an edge list. Self-loops are rejected; duplicate
+    /// edges are merged.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut g = Graph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|s| s.len()).sum::<usize>() / 2
+    }
+
+    /// Adds the undirected edge `{u, v}`. Returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(u != v, "self-loop {u}");
+        assert!(u < self.adj.len() && v < self.adj.len(), "edge ({u},{v}) out of range");
+        let fresh = self.adj[u].insert(v as u32);
+        self.adj[v].insert(u as u32);
+        fresh
+    }
+
+    /// Removes the edge `{u, v}`. Returns `true` if it was present.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        let present = self.adj[u].remove(&(v as u32));
+        self.adj[v].remove(&(u as u32));
+        present
+    }
+
+    /// `true` iff the edge `{u, v}` is present.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u].contains(&(v as u32))
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Neighbors of `u` in ascending index order.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adj[u].iter().map(|&v| v as usize)
+    }
+
+    /// All edges, each once, as `(min, max)` pairs in lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            nbrs.iter()
+                .map(|&v| v as usize)
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Removes all edges incident to `u` (used by the churn/fault injector
+    /// when a node crashes). Returns the former neighbors.
+    pub fn isolate(&mut self, u: usize) -> Vec<usize> {
+        let nbrs: Vec<usize> = self.neighbors(u).collect();
+        for &v in &nbrs {
+            self.adj[v].remove(&(u as u32));
+        }
+        self.adj[u].clear();
+        nbrs
+    }
+
+    /// Appends a fresh isolated node, returning its index (node join under
+    /// churn).
+    pub fn add_node(&mut self) -> usize {
+        let idx = self.adj.len();
+        assert!(idx < u32::MAX as usize, "graph too large for u32 indices");
+        self.adj.push(BTreeSet::new());
+        idx
+    }
+
+    /// Degree statistics `(min, max, mean)`; zeros for the empty graph.
+    pub fn degree_stats(&self) -> (usize, usize, f64) {
+        if self.adj.is_empty() {
+            return (0, 0, 0.0);
+        }
+        let mut min = usize::MAX;
+        let mut max = 0;
+        let mut sum = 0usize;
+        for s in &self.adj {
+            min = min.min(s.len());
+            max = max.max(s.len());
+            sum += s.len();
+        }
+        (min, max, sum as f64 / self.adj.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn add_remove_edges() {
+        let mut g = Graph::new(4);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0), "duplicate edge must not be new");
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.remove_edge(1, 0));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        Graph::new(2).add_edge(1, 1);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = Graph::from_edges(5, [(2, 4), (2, 0), (2, 3), (2, 1)]);
+        assert_eq!(g.neighbors(2).collect::<Vec<_>>(), vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn edges_listed_once_in_order() {
+        let g = Graph::from_edges(4, [(3, 1), (0, 2), (1, 0)]);
+        assert_eq!(g.edges().collect::<Vec<_>>(), vec![(0, 1), (0, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn isolate_detaches_node() {
+        let mut g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2)]);
+        let nbrs = g.isolate(0);
+        assert_eq!(nbrs, vec![1, 2, 3]);
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn add_node_extends() {
+        let mut g = Graph::new(2);
+        let idx = g.add_node();
+        assert_eq!(idx, 2);
+        g.add_edge(idx, 0);
+        assert!(g.has_edge(2, 0));
+    }
+
+    #[test]
+    fn degree_stats_basic() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (1, 3)]);
+        let (min, max, mean) = g.degree_stats();
+        assert_eq!((min, max), (1, 3));
+        assert!((mean - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,173 @@
+//! Mapping between dense graph indices and sparse SSR addresses.
+//!
+//! SSR "does not assume the nodes' addresses to match the actual network
+//! topology": addresses are drawn independently of where a node sits in the
+//! physical graph. A [`Labeling`] assigns each dense node index `0..n` a
+//! unique 64-bit [`NodeId`] and supports the lookups both directions that
+//! the protocols and checkers need.
+
+use std::collections::HashMap;
+
+use ssr_types::{NodeId, Rng};
+
+/// A bijection between node indices `0..n` and unique `NodeId`s.
+#[derive(Clone, Debug)]
+pub struct Labeling {
+    ids: Vec<NodeId>,
+    index_of: HashMap<NodeId, usize>,
+}
+
+impl Labeling {
+    /// Assigns uniformly random distinct addresses to `n` nodes.
+    pub fn random(n: usize, rng: &mut Rng) -> Self {
+        let sorted = rng.distinct_node_ids(n);
+        // Shuffle so that graph index order carries no information about
+        // address order — the paper's premise is that virtual and physical
+        // neighborhoods are independent.
+        let mut ids = sorted;
+        rng.shuffle(&mut ids);
+        Self::from_ids(ids)
+    }
+
+    /// Uses the given addresses (must be unique).
+    ///
+    /// # Panics
+    /// Panics on duplicate addresses.
+    pub fn from_ids(ids: Vec<NodeId>) -> Self {
+        let mut index_of = HashMap::with_capacity(ids.len());
+        for (i, &id) in ids.iter().enumerate() {
+            let prev = index_of.insert(id, i);
+            assert!(prev.is_none(), "duplicate node id {id}");
+        }
+        Labeling { ids, index_of }
+    }
+
+    /// Sequential addresses `1..=n` scaled by `stride` — convenient for
+    /// figure-style examples with small readable ids.
+    pub fn sequential(n: usize, stride: u64) -> Self {
+        assert!(stride >= 1);
+        Self::from_ids((1..=n as u64).map(|i| NodeId(i * stride)).collect())
+    }
+
+    /// Number of labeled nodes.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` for the empty labeling.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The address of node index `u`.
+    #[inline]
+    pub fn id(&self, u: usize) -> NodeId {
+        self.ids[u]
+    }
+
+    /// The index carrying address `id`, if any.
+    #[inline]
+    pub fn index(&self, id: NodeId) -> Option<usize> {
+        self.index_of.get(&id).copied()
+    }
+
+    /// All addresses in index order.
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    /// Node indices sorted by address — the target order of linearization.
+    pub fn indices_by_id(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.ids.len()).collect();
+        order.sort_by_key(|&u| self.ids[u]);
+        order
+    }
+
+    /// The index of the node with the numerically largest address — ISPRP's
+    /// and VRR's *representative*.
+    pub fn representative(&self) -> Option<usize> {
+        (0..self.ids.len()).max_by_key(|&u| self.ids[u])
+    }
+
+    /// Registers a fresh node (churn join) with a random address distinct
+    /// from all existing ones. Returns `(index, id)`; the caller must have
+    /// added the node to the graph so indices stay aligned.
+    pub fn push_random(&mut self, rng: &mut Rng) -> (usize, NodeId) {
+        let id = loop {
+            let cand = rng.node_id();
+            if !self.index_of.contains_key(&cand) {
+                break cand;
+            }
+        };
+        let idx = self.ids.len();
+        self.ids.push(id);
+        self.index_of.insert(id, idx);
+        (idx, id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_a_bijection() {
+        let mut rng = Rng::new(1);
+        let l = Labeling::random(500, &mut rng);
+        assert_eq!(l.len(), 500);
+        for u in 0..500 {
+            assert_eq!(l.index(l.id(u)), Some(u));
+        }
+    }
+
+    #[test]
+    fn sequential_ids() {
+        let l = Labeling::sequential(4, 10);
+        assert_eq!(l.ids(), &[NodeId(10), NodeId(20), NodeId(30), NodeId(40)]);
+        assert_eq!(l.index(NodeId(30)), Some(2));
+        assert_eq!(l.index(NodeId(35)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicates_rejected() {
+        Labeling::from_ids(vec![NodeId(1), NodeId(1)]);
+    }
+
+    #[test]
+    fn indices_by_id_sorts() {
+        let l = Labeling::from_ids(vec![NodeId(30), NodeId(10), NodeId(20)]);
+        assert_eq!(l.indices_by_id(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn representative_is_max_address() {
+        let l = Labeling::from_ids(vec![NodeId(30), NodeId(99), NodeId(20)]);
+        assert_eq!(l.representative(), Some(1));
+        assert_eq!(Labeling::from_ids(vec![]).representative(), None);
+    }
+
+    #[test]
+    fn push_random_extends_bijection() {
+        let mut rng = Rng::new(2);
+        let mut l = Labeling::sequential(3, 1);
+        let (idx, id) = l.push_random(&mut rng);
+        assert_eq!(idx, 3);
+        assert_eq!(l.index(id), Some(3));
+        assert_eq!(l.len(), 4);
+    }
+
+    #[test]
+    fn shuffled_assignment_differs_from_sorted() {
+        // regression guard: Labeling::random must not hand out addresses in
+        // index order (that would secretly align physical and virtual space)
+        let mut rng = Rng::new(3);
+        let l = Labeling::random(100, &mut rng);
+        let sorted = {
+            let mut v = l.ids().to_vec();
+            v.sort();
+            v
+        };
+        assert_ne!(l.ids(), &sorted[..]);
+    }
+}

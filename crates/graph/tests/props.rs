@@ -1,0 +1,142 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use ssr_graph::{algo, generators, Csr, Graph};
+use ssr_types::Rng;
+
+/// Strategy: a random edge list over `n` nodes.
+fn edge_list(max_n: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2..max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..(3 * n));
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #[test]
+    fn graph_edge_symmetry((n, edges) in edge_list(40)) {
+        let mut g = Graph::new(n);
+        for (u, v) in edges {
+            if u != v {
+                g.add_edge(u, v);
+            }
+        }
+        for u in 0..n {
+            for v in g.neighbors(u) {
+                prop_assert!(g.has_edge(v, u));
+            }
+        }
+        // handshake lemma
+        let degree_sum: usize = (0..n).map(|u| g.degree(u)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn csr_faithful((n, edges) in edge_list(40)) {
+        let mut g = Graph::new(n);
+        for (u, v) in edges {
+            if u != v {
+                g.add_edge(u, v);
+            }
+        }
+        let csr = Csr::from_graph(&g);
+        prop_assert_eq!(csr.edge_count(), g.edge_count());
+        for u in 0..n {
+            let a: Vec<usize> = csr.neighbors(u).iter().map(|&v| v as usize).collect();
+            let b: Vec<usize> = g.neighbors(u).collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn components_partition((n, edges) in edge_list(40)) {
+        let mut g = Graph::new(n);
+        for (u, v) in edges {
+            if u != v {
+                g.add_edge(u, v);
+            }
+        }
+        let (label, count) = algo::components(&g);
+        // label is idempotent: the label of a label is itself
+        for u in 0..n {
+            prop_assert_eq!(label[label[u]], label[u]);
+        }
+        // neighbors share labels
+        for (u, v) in g.edges() {
+            prop_assert_eq!(label[u], label[v]);
+        }
+        // count matches distinct labels
+        let distinct: std::collections::HashSet<_> = label.iter().collect();
+        prop_assert_eq!(distinct.len(), count);
+        prop_assert_eq!(count == 1, algo::is_connected(&g));
+    }
+
+    #[test]
+    fn shortest_path_is_shortest((n, edges) in edge_list(30), src_k: usize, dst_k: usize) {
+        let mut g = Graph::new(n);
+        for (u, v) in edges {
+            if u != v {
+                g.add_edge(u, v);
+            }
+        }
+        let src = src_k % n;
+        let dst = dst_k % n;
+        let dist = algo::bfs_distances(&g, src);
+        match algo::shortest_path(&g, src, dst) {
+            None => prop_assert_eq!(dist[dst], algo::UNREACHABLE),
+            Some(p) => {
+                prop_assert_eq!(p.len() as u32 - 1, dist[dst]);
+                prop_assert_eq!(p[0], src);
+                prop_assert_eq!(*p.last().unwrap(), dst);
+                for w in p.windows(2) {
+                    prop_assert!(g.has_edge(w[0], w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ensure_connected_always_connects(n in 2usize..60, seed: u64, p in 0.0f64..0.08) {
+        let mut rng = Rng::new(seed);
+        let mut g = generators::gnp(n, p, &mut rng);
+        generators::ensure_connected(&mut g, &mut rng);
+        prop_assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn random_regular_degrees(seed: u64, half_n in 4usize..30, d in 1usize..5) {
+        let n = 2 * half_n; // n*d always even
+        let mut rng = Rng::new(seed);
+        let g = generators::random_regular(n, d, &mut rng);
+        for u in 0..n {
+            prop_assert_eq!(g.degree(u), d);
+        }
+    }
+
+    #[test]
+    fn unit_disk_connected_property(seed: u64, n in 10usize..150) {
+        let mut rng = Rng::new(seed);
+        let (g, pts) = generators::unit_disk_connected(n, 1.0, &mut rng);
+        prop_assert!(algo::is_connected(&g));
+        prop_assert_eq!(pts.len(), n);
+    }
+
+    #[test]
+    fn eccentricity_bounds_diameter((n, edges) in edge_list(25)) {
+        let mut g = Graph::new(n);
+        for (u, v) in edges {
+            if u != v {
+                g.add_edge(u, v);
+            }
+        }
+        let mut rng = Rng::new(0);
+        generators::ensure_connected(&mut g, &mut rng);
+        let d = algo::diameter_exact(&g).unwrap();
+        let sweep = algo::diameter_double_sweep(&g, 0).unwrap();
+        prop_assert!(sweep <= d);
+        prop_assert!(algo::eccentricity(&g, 0).unwrap() <= d);
+        // double sweep is at least half the diameter (standard bound: it
+        // returns an eccentricity, and every eccentricity >= d/2)
+        prop_assert!(2 * sweep >= d);
+    }
+}

@@ -1,0 +1,127 @@
+//! Convergence predicates and potential functions.
+//!
+//! The engine works in **rank space**: node indices *are* identifier ranks,
+//! so the target of linearization is the chain `0 – 1 – … – (n-1)`. (Use
+//! [`relabel_to_ranks`] to bring an arbitrarily labeled graph into rank
+//! space; random-graph experiments can skip it, since their structure is
+//! independent of the labeling.)
+
+use ssr_graph::{Graph, Labeling};
+
+/// `true` iff every consecutive pair `(i, i+1)` is adjacent — the *line* has
+/// formed, which is the convergence event all round counts refer to. For
+/// the memory/LSN variants extra shortcut edges may (and should) remain.
+pub fn chain_edges_present(g: &Graph) -> bool {
+    let n = g.node_count();
+    (1..n).all(|i| g.has_edge(i - 1, i))
+}
+
+/// Number of consecutive pairs not yet adjacent (0 ⇔ line formed).
+pub fn missing_chain_edges(g: &Graph) -> usize {
+    let n = g.node_count();
+    (1..n).filter(|&i| !g.has_edge(i - 1, i)).count()
+}
+
+/// `true` iff the graph is *exactly* the sorted chain — the fixpoint of pure
+/// linearization.
+pub fn is_exact_chain(g: &Graph) -> bool {
+    let n = g.node_count();
+    g.edge_count() == n.saturating_sub(1) && chain_edges_present(g)
+}
+
+/// Number of edges that are not chain edges (shortcuts and not-yet-sorted
+/// edges).
+pub fn superfluous_edges(g: &Graph) -> usize {
+    g.edges().filter(|&(u, v)| v != u + 1).count()
+}
+
+/// The potential `Σ_{(u,v) ∈ E} (v - u)` in rank units. Pure linearization
+/// never increases it, and it is minimal (`n-1`) exactly on the chain —
+/// the standard progress measure in the self-stabilization literature.
+pub fn potential(g: &Graph) -> u64 {
+    g.edges().map(|(u, v)| (v - u) as u64).sum()
+}
+
+/// Rewrites `g` so that node `r` of the result is the node with the `r`-th
+/// smallest identifier in `labels`. Inverse permutation returned alongside:
+/// `index_of_rank[r]` is the original index.
+pub fn relabel_to_ranks(g: &Graph, labels: &Labeling) -> (Graph, Vec<usize>) {
+    assert_eq!(g.node_count(), labels.len());
+    let index_of_rank = labels.indices_by_id();
+    let mut rank_of_index = vec![0usize; g.node_count()];
+    for (rank, &idx) in index_of_rank.iter().enumerate() {
+        rank_of_index[idx] = rank;
+    }
+    let mut out = Graph::new(g.node_count());
+    for (u, v) in g.edges() {
+        out.add_edge(rank_of_index[u], rank_of_index[v]);
+    }
+    (out, index_of_rank)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_graph::generators;
+    use ssr_types::NodeId;
+
+    #[test]
+    fn chain_predicates_on_the_chain() {
+        let g = generators::line(6);
+        assert!(chain_edges_present(&g));
+        assert!(is_exact_chain(&g));
+        assert_eq!(missing_chain_edges(&g), 0);
+        assert_eq!(superfluous_edges(&g), 0);
+        assert_eq!(potential(&g), 5);
+    }
+
+    #[test]
+    fn chain_with_shortcuts_is_line_but_not_exact() {
+        let mut g = generators::line(6);
+        g.add_edge(0, 3);
+        assert!(chain_edges_present(&g));
+        assert!(!is_exact_chain(&g));
+        assert_eq!(superfluous_edges(&g), 1);
+        assert_eq!(potential(&g), 5 + 3);
+    }
+
+    #[test]
+    fn missing_edges_counted() {
+        let mut g = generators::line(6);
+        g.remove_edge(2, 3);
+        g.remove_edge(4, 5);
+        assert_eq!(missing_chain_edges(&g), 2);
+        assert!(!chain_edges_present(&g));
+    }
+
+    #[test]
+    fn ring_is_not_a_chain() {
+        let g = generators::ring(5);
+        assert!(chain_edges_present(&g)); // 0-1,1-2,2-3,3-4 all present
+        assert!(!is_exact_chain(&g)); // the wrap edge 0-4 is extra
+        assert_eq!(superfluous_edges(&g), 1);
+    }
+
+    #[test]
+    fn potential_minimal_only_on_chain() {
+        // any connected graph has potential >= n-1 (spanning requires
+        // covering all n-1 rank gaps)
+        let g = generators::complete(5);
+        assert!(potential(&g) > 4);
+        assert_eq!(potential(&generators::line(5)), 4);
+    }
+
+    #[test]
+    fn relabel_sorts_by_id() {
+        // indices: 0(id=30) - 1(id=10) - 2(id=20), edges 0-1, 1-2
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let labels = Labeling::from_ids(vec![NodeId(30), NodeId(10), NodeId(20)]);
+        let (rg, index_of_rank) = relabel_to_ranks(&g, &labels);
+        // rank order: 1 (10), 2 (20), 0 (30)
+        assert_eq!(index_of_rank, vec![1, 2, 0]);
+        // edge 0-1 (ids 30,10) becomes ranks 2-0; edge 1-2 (ids 10,20) → 0-1
+        assert!(rg.has_edge(0, 2));
+        assert!(rg.has_edge(0, 1));
+        assert!(!rg.has_edge(1, 2));
+    }
+}

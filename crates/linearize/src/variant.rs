@@ -1,0 +1,80 @@
+//! Algorithm variants and action semantics.
+
+use ssr_types::IntervalPartition;
+
+/// Which linearization variant governs edge *retention*.
+#[derive(Clone, Copy, Debug)]
+pub enum Variant {
+    /// Pure linearization (Algorithm 1): a node keeps only its closest left
+    /// and closest right neighbor; everything else is delegated away.
+    Pure,
+    /// Linearization with memory: no edge is ever dropped.
+    Memory,
+    /// Linearization with shortcut neighbors: per side, the closest
+    /// neighbor in each exponential interval is kept.
+    Lsn(IntervalPartition),
+}
+
+impl Variant {
+    /// The canonical LSN variant with base-2 intervals.
+    pub fn lsn() -> Variant {
+        Variant::Lsn(IntervalPartition::base2())
+    }
+
+    /// Short display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Variant::Pure => "pure",
+            Variant::Memory => "memory",
+            Variant::Lsn(_) => "lsn",
+        }
+    }
+}
+
+/// How much linearization work a node performs per round — the E4 ablation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Semantics {
+    /// The star-chain semantics of the paper's Algorithm 1: in one round a
+    /// node sorts its whole neighborhood and proposes the full chain.
+    Star,
+    /// The pairwise action semantics of Onus et al.: per round a node
+    /// performs one left and one right linearization step (delegating only
+    /// its single farthest neighbor on each side to the second-farthest).
+    /// Only the deleting ([`crate::Variant::Pure`]) variant is guaranteed to
+    /// make progress under these semantics — with memory/LSN retention the
+    /// farthest pair never changes once bridged and the run can stall short
+    /// of the line.
+    Pairwise,
+}
+
+impl Semantics {
+    /// Short display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Semantics::Star => "star",
+            Semantics::Pairwise => "pairwise",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(Variant::Pure.name(), "pure");
+        assert_eq!(Variant::Memory.name(), "memory");
+        assert_eq!(Variant::lsn().name(), "lsn");
+        assert_eq!(Semantics::Star.name(), "star");
+        assert_eq!(Semantics::Pairwise.name(), "pairwise");
+    }
+
+    #[test]
+    fn lsn_default_base_is_two() {
+        match Variant::lsn() {
+            Variant::Lsn(p) => assert_eq!(p.base(), 2),
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The event queue.
+//!
+//! A binary heap of timestamped events. Determinism matters more than
+//! anything here: events with equal timestamps are delivered in insertion
+//! order (a strictly increasing sequence number breaks ties), so a
+//! simulation is a pure function of `(topology, protocols, seed)`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// What happens when an event fires.
+#[derive(Clone, Debug)]
+pub enum EventKind<M> {
+    /// Deliver `msg` to `dst`, sent by physical neighbor `from`.
+    Deliver {
+        /// Receiving node index.
+        dst: usize,
+        /// Sending node index (a physical neighbor of `dst` at send time).
+        from: usize,
+        /// The protocol payload.
+        msg: M,
+    },
+    /// Fire a protocol timer at `node` with an opaque `token`.
+    Timer {
+        /// Node whose timer fires.
+        node: usize,
+        /// Token the node passed to `Ctx::set_timer`.
+        token: u64,
+    },
+    /// Apply a scheduled fault (crash/join/link change).
+    Fault(crate::faults::Fault),
+}
+
+/// A timestamped queue entry.
+#[derive(Clone, Debug)]
+pub struct QueuedEvent<M> {
+    /// Firing time.
+    pub at: Time,
+    /// Tie-break: insertion order.
+    pub seq: u64,
+    /// Payload.
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueuedEvent<M> {}
+
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The event queue: earliest timestamp first, FIFO among equals.
+#[derive(Debug)]
+pub struct EventQueue<M> {
+    heap: BinaryHeap<QueuedEvent<M>>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at time `at`.
+    pub fn push(&mut self, at: Time, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(QueuedEvent { at, seq, kind });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<QueuedEvent<M>> {
+        self.heap.pop()
+    }
+
+    /// Timestamp of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: usize) -> EventKind<()> {
+        EventKind::Timer { node, token: 0 }
+    }
+
+    #[test]
+    fn earliest_first() {
+        let mut q = EventQueue::new();
+        q.push(Time(5), timer(5));
+        q.push(Time(1), timer(1));
+        q.push(Time(3), timer(3));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.0).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn fifo_among_equal_timestamps() {
+        let mut q = EventQueue::new();
+        for node in 0..10 {
+            q.push(Time(7), timer(node));
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { node, .. } => node,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Time(2), timer(0));
+        q.push(Time(1), timer(1));
+        assert_eq!(q.peek_time(), Some(Time(1)));
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,203 @@
+//! Fault and churn injection.
+//!
+//! Linearization is *self-stabilizing*: it must converge from any initial
+//! state, which in a running network means after any pattern of node
+//! crashes, joins, and link failures. Experiment E8 schedules these faults
+//! against a converged network and measures re-convergence without any
+//! flooding. Faults are ordinary events in the queue, so fault timing is as
+//! deterministic as everything else.
+
+use ssr_types::Rng;
+
+use crate::time::Time;
+
+/// A topology change applied at a scheduled time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Fault {
+    /// Node stops: loses all links, drops all state, ignores traffic.
+    Crash {
+        /// The crashing node.
+        node: usize,
+    },
+    /// A previously crashed (or fresh) node comes up with the given
+    /// physical links. Links to dead endpoints are ignored.
+    Join {
+        /// The joining node.
+        node: usize,
+        /// Physical neighbors to connect to.
+        links: Vec<usize>,
+    },
+    /// Remove one physical link (radio obstruction, mobility).
+    LinkDown {
+        /// One endpoint.
+        a: usize,
+        /// Other endpoint.
+        b: usize,
+    },
+    /// Restore one physical link.
+    LinkUp {
+        /// One endpoint.
+        a: usize,
+        /// Other endpoint.
+        b: usize,
+    },
+}
+
+/// A scheduled fault.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScheduledFault {
+    /// When to apply.
+    pub at: Time,
+    /// What to apply.
+    pub fault: Fault,
+}
+
+/// Generates a Poisson churn trace over `[start, end)`: crash events at rate
+/// `crash_rate` (per tick), each followed `downtime` ticks later by a rejoin
+/// with the node's original links. Targets are drawn uniformly from
+/// `0..n`.
+pub fn poisson_crash_rejoin_trace(
+    n: usize,
+    start: Time,
+    end: Time,
+    crash_rate: f64,
+    downtime: u64,
+    links_of: impl Fn(usize) -> Vec<usize>,
+    rng: &mut Rng,
+) -> Vec<ScheduledFault> {
+    assert!(crash_rate > 0.0);
+    let mut out = Vec::new();
+    let mut t = start.ticks() as f64;
+    loop {
+        t += rng.exponential(crash_rate);
+        let at = Time(t.ceil() as u64);
+        if at >= end {
+            break;
+        }
+        let node = rng.index(n);
+        out.push(ScheduledFault {
+            at,
+            fault: Fault::Crash { node },
+        });
+        out.push(ScheduledFault {
+            at: at + downtime,
+            fault: Fault::Join {
+                node,
+                links: links_of(node),
+            },
+        });
+    }
+    out
+}
+
+/// Generates a trace of transient link failures: at rate `fail_rate`, a
+/// uniformly random existing link goes down for `downtime` ticks.
+pub fn poisson_link_flap_trace(
+    edges: &[(usize, usize)],
+    start: Time,
+    end: Time,
+    fail_rate: f64,
+    downtime: u64,
+    rng: &mut Rng,
+) -> Vec<ScheduledFault> {
+    assert!(fail_rate > 0.0);
+    let mut out = Vec::new();
+    if edges.is_empty() {
+        return out;
+    }
+    let mut t = start.ticks() as f64;
+    loop {
+        t += rng.exponential(fail_rate);
+        let at = Time(t.ceil() as u64);
+        if at >= end {
+            break;
+        }
+        let &(a, b) = &edges[rng.index(edges.len())];
+        out.push(ScheduledFault {
+            at,
+            fault: Fault::LinkDown { a, b },
+        });
+        out.push(ScheduledFault {
+            at: at + downtime,
+            fault: Fault::LinkUp { a, b },
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_trace_pairs_crash_with_rejoin() {
+        let mut rng = Rng::new(1);
+        let trace = poisson_crash_rejoin_trace(
+            10,
+            Time(0),
+            Time(1000),
+            0.05,
+            20,
+            |u| vec![(u + 1) % 10],
+            &mut rng,
+        );
+        assert!(!trace.is_empty());
+        assert_eq!(trace.len() % 2, 0);
+        for pair in trace.chunks(2) {
+            match (&pair[0].fault, &pair[1].fault) {
+                (Fault::Crash { node: c }, Fault::Join { node: j, links }) => {
+                    assert_eq!(c, j);
+                    assert_eq!(pair[1].at - pair[0].at, 20);
+                    assert_eq!(links, &vec![(c + 1) % 10]);
+                }
+                other => panic!("unexpected pair {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trace_respects_window() {
+        let mut rng = Rng::new(2);
+        let trace =
+            poisson_crash_rejoin_trace(5, Time(100), Time(200), 0.2, 5, |_| vec![], &mut rng);
+        for f in trace.chunks(2) {
+            assert!(f[0].at >= Time(100) && f[0].at < Time(200));
+        }
+    }
+
+    #[test]
+    fn link_flap_trace_uses_existing_edges() {
+        let mut rng = Rng::new(3);
+        let edges = vec![(0, 1), (1, 2), (2, 3)];
+        let trace = poisson_link_flap_trace(&edges, Time(0), Time(500), 0.1, 10, &mut rng);
+        assert!(!trace.is_empty());
+        for pair in trace.chunks(2) {
+            match (&pair[0].fault, &pair[1].fault) {
+                (Fault::LinkDown { a, b }, Fault::LinkUp { a: a2, b: b2 }) => {
+                    assert!((a, b) == (a2, b2));
+                    assert!(edges.contains(&(*a, *b)));
+                }
+                other => panic!("unexpected pair {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_edge_list_gives_empty_trace() {
+        let mut rng = Rng::new(4);
+        let trace = poisson_link_flap_trace(&[], Time(0), Time(100), 0.5, 1, &mut rng);
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn rate_scales_event_count() {
+        let mut rng = Rng::new(5);
+        let slow =
+            poisson_crash_rejoin_trace(10, Time(0), Time(5000), 0.01, 1, |_| vec![], &mut rng)
+                .len();
+        let fast =
+            poisson_crash_rejoin_trace(10, Time(0), Time(5000), 0.1, 1, |_| vec![], &mut rng)
+                .len();
+        assert!(fast > 3 * slow, "fast {fast} vs slow {slow}");
+    }
+}

@@ -1,0 +1,37 @@
+//! A discrete-event network simulator.
+//!
+//! The paper evaluates routing-protocol bootstrap mechanisms in network
+//! simulations; no offline Rust network-simulation framework exists, so this
+//! crate is the substituted substrate (see DESIGN.md). It is deliberately a
+//! *network-layer* simulator:
+//!
+//! * messages travel only between **physical neighbors** — a protocol can
+//!   never teleport state across the network; SSR source routes and VRR path
+//!   state must be forwarded hop by hop, and every per-link transmission is
+//!   metered (that is what makes the flooding-cost experiment E6 honest);
+//! * per-link latency and loss are configurable ([`link`]);
+//! * execution is fully deterministic for a given seed: the event queue
+//!   breaks timestamp ties by insertion sequence, and all randomness flows
+//!   from one [`ssr_types::Rng`];
+//! * nodes can crash, join, and lose links mid-run ([`faults`]), which is
+//!   how the churn experiment E8 exercises self-stabilization.
+//!
+//! Protocols implement the [`Protocol`] trait and interact with the world
+//! through a [`Ctx`] handed to each callback.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod faults;
+pub mod link;
+pub mod metrics;
+pub mod sim;
+pub mod time;
+pub mod trace;
+
+pub use link::LinkConfig;
+pub use metrics::Metrics;
+pub use sim::{Ctx, Protocol, RunOutcome, Simulator};
+pub use time::Time;
+pub use trace::{TraceEvent, TraceSink};

@@ -1,0 +1,125 @@
+//! Link models: per-hop latency and loss.
+//!
+//! The default — latency 1 tick, no loss — makes simulated time coincide
+//! with the synchronous round model that the convergence results are stated
+//! in. Jittered latency and loss are used by the robustness variants of the
+//! experiments (linearization is self-stabilizing, so it must converge under
+//! both).
+
+use ssr_types::Rng;
+
+/// Per-hop latency model.
+#[derive(Clone, Copy, Debug)]
+pub enum Latency {
+    /// Every hop takes exactly this many ticks (≥ 1).
+    Fixed(u64),
+    /// Uniform in `[min, max]` ticks.
+    Uniform {
+        /// Minimum per-hop latency (≥ 1).
+        min: u64,
+        /// Maximum per-hop latency.
+        max: u64,
+    },
+}
+
+impl Latency {
+    /// Draws a latency sample.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        match *self {
+            Latency::Fixed(t) => t.max(1),
+            Latency::Uniform { min, max } => {
+                let lo = min.max(1);
+                let hi = max.max(lo);
+                rng.range(lo, hi + 1)
+            }
+        }
+    }
+}
+
+/// Configuration of every link in the network.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkConfig {
+    /// Per-hop latency model.
+    pub latency: Latency,
+    /// Probability that a transmission is lost (per hop, i.i.d.).
+    pub drop_prob: f64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            latency: Latency::Fixed(1),
+            drop_prob: 0.0,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// The synchronous-round model: unit latency, no loss.
+    pub fn ideal() -> Self {
+        Self::default()
+    }
+
+    /// A lossy network with the given drop probability.
+    pub fn lossy(drop_prob: f64) -> Self {
+        assert!((0.0..1.0).contains(&drop_prob), "drop probability must be in [0,1)");
+        LinkConfig {
+            latency: Latency::Fixed(1),
+            drop_prob,
+        }
+    }
+
+    /// Jittered latency in `[min, max]`, no loss.
+    pub fn jittered(min: u64, max: u64) -> Self {
+        LinkConfig {
+            latency: Latency::Uniform { min, max },
+            drop_prob: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_latency_never_zero() {
+        let mut rng = Rng::new(1);
+        assert_eq!(Latency::Fixed(0).sample(&mut rng), 1);
+        assert_eq!(Latency::Fixed(3).sample(&mut rng), 3);
+    }
+
+    #[test]
+    fn uniform_latency_in_bounds() {
+        let mut rng = Rng::new(2);
+        let l = Latency::Uniform { min: 2, max: 5 };
+        for _ in 0..500 {
+            let s = l.sample(&mut rng);
+            assert!((2..=5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate_bounds() {
+        let mut rng = Rng::new(3);
+        let l = Latency::Uniform { min: 4, max: 4 };
+        assert_eq!(l.sample(&mut rng), 4);
+        // max < min saturates to min
+        let l = Latency::Uniform { min: 4, max: 2 };
+        assert_eq!(l.sample(&mut rng), 4);
+    }
+
+    #[test]
+    fn presets() {
+        let ideal = LinkConfig::ideal();
+        assert_eq!(ideal.drop_prob, 0.0);
+        let lossy = LinkConfig::lossy(0.1);
+        assert!((lossy.drop_prob - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn lossy_rejects_certain_loss() {
+        LinkConfig::lossy(1.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Simulation metrics.
+//!
+//! Experiment E6 ("flooding cost") is a message-accounting experiment: it
+//! compares how many per-link transmissions each bootstrap mechanism needs,
+//! broken down by message kind. The simulator increments these counters on
+//! every hop; protocols can add their own counters and gauge samples.
+
+use std::collections::BTreeMap;
+
+/// Counter/gauge registry for one simulation run.
+///
+/// Keys are static strings so that protocols can use literal message-kind
+/// names without allocation. A `BTreeMap` keeps report output sorted and
+/// deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    /// min/max/sum/count per gauge, enough for mean and extremes.
+    gauges: BTreeMap<&'static str, GaugeStats>,
+}
+
+/// Aggregate statistics of a sampled gauge.
+#[derive(Clone, Copy, Debug)]
+pub struct GaugeStats {
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Number of samples.
+    pub count: u64,
+}
+
+impl GaugeStats {
+    fn observe(&mut self, v: f64) {
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Metrics {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to counter `key`.
+    #[inline]
+    pub fn add(&mut self, key: &'static str, delta: u64) {
+        *self.counters.entry(key).or_insert(0) += delta;
+    }
+
+    /// Increments counter `key` by one.
+    #[inline]
+    pub fn incr(&mut self, key: &'static str) {
+        self.add(key, 1);
+    }
+
+    /// Current value of counter `key` (0 if never touched).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Sum over all counters whose name starts with `prefix` — e.g. all
+    /// `"msg."`-prefixed kinds for a total message count.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Records one sample of gauge `key`.
+    pub fn observe(&mut self, key: &'static str, value: f64) {
+        self.gauges
+            .entry(key)
+            .or_insert(GaugeStats {
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+                sum: 0.0,
+                count: 0,
+            })
+            .observe(value);
+    }
+
+    /// Statistics of gauge `key`, if any samples were recorded.
+    pub fn gauge(&self, key: &str) -> Option<GaugeStats> {
+        self.gauges.get(key).copied()
+    }
+
+    /// All counters in sorted key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Merges another registry into this one (used when aggregating
+    /// repeated runs).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, g) in &other.gauges {
+            let e = self.gauges.entry(k).or_insert(GaugeStats {
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+                sum: 0.0,
+                count: 0,
+            });
+            e.min = e.min.min(g.min);
+            e.max = e.max.max(g.max);
+            e.sum += g.sum;
+            e.count += g.count;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.incr("msg.notify");
+        m.add("msg.notify", 4);
+        m.incr("msg.ack");
+        assert_eq!(m.counter("msg.notify"), 5);
+        assert_eq!(m.counter("msg.ack"), 1);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn prefix_sum() {
+        let mut m = Metrics::new();
+        m.add("msg.a", 2);
+        m.add("msg.b", 3);
+        m.add("other", 100);
+        assert_eq!(m.counter_sum("msg."), 5);
+    }
+
+    #[test]
+    fn gauges_track_min_max_mean() {
+        let mut m = Metrics::new();
+        for v in [1.0, 2.0, 3.0] {
+            m.observe("state", v);
+        }
+        let g = m.gauge("state").unwrap();
+        assert_eq!(g.min, 1.0);
+        assert_eq!(g.max, 3.0);
+        assert!((g.mean() - 2.0).abs() < 1e-12);
+        assert!(m.gauge("missing").is_none());
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Metrics::new();
+        a.add("msg.x", 1);
+        a.observe("g", 1.0);
+        let mut b = Metrics::new();
+        b.add("msg.x", 2);
+        b.observe("g", 5.0);
+        a.merge(&b);
+        assert_eq!(a.counter("msg.x"), 3);
+        let g = a.gauge("g").unwrap();
+        assert_eq!(g.count, 2);
+        assert_eq!(g.max, 5.0);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut m = Metrics::new();
+        m.incr("zeta");
+        m.incr("alpha");
+        let keys: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["alpha", "zeta"]);
+    }
+}

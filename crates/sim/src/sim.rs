@@ -1,0 +1,795 @@
+//! The simulator core: protocol trait, context, and event loop.
+
+use ssr_graph::Graph;
+use ssr_types::Rng;
+
+use crate::event::{EventKind, EventQueue};
+use crate::faults::Fault;
+use crate::link::LinkConfig;
+use crate::metrics::Metrics;
+use crate::time::Time;
+use crate::trace::{TraceEvent, TraceSink};
+
+/// A per-node protocol state machine.
+///
+/// One instance runs at every node. All interaction with the network goes
+/// through the [`Ctx`]: a node can only message its current **physical
+/// neighbors** — multi-hop dissemination (source routes, floods, path setup)
+/// must be implemented as explicit per-hop forwarding, which is exactly what
+/// the message-cost experiments meter.
+pub trait Protocol: Sized {
+    /// The protocol's message type.
+    type Msg: Clone;
+
+    /// Called once when the node starts (simulation start, or rejoin after a
+    /// crash).
+    fn on_init(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Called for every delivered message. `from` is the physical neighbor
+    /// that transmitted the final hop.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, from: usize, msg: Self::Msg);
+
+    /// Called when a timer set via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg>, token: u64) {
+        let _ = (ctx, token);
+    }
+
+    /// Called when a physical link to `neighbor` appears (join/link-up).
+    fn on_neighbor_up(&mut self, ctx: &mut Ctx<'_, Self::Msg>, neighbor: usize) {
+        let _ = (ctx, neighbor);
+    }
+
+    /// Called when a physical link to `neighbor` disappears (crash or
+    /// link-down). Protocols should drop direct state derived from it.
+    fn on_neighbor_down(&mut self, ctx: &mut Ctx<'_, Self::Msg>, neighbor: usize) {
+        let _ = (ctx, neighbor);
+    }
+
+    /// Drops all protocol state — the node forgot everything (crash).
+    /// Called before `on_init` when the node rejoins.
+    fn reset(&mut self);
+
+    /// Classifies a message for the metrics breakdown (e.g. `"notify"`,
+    /// `"flood"`). Counted per link-layer transmission under
+    /// `msg.<kind>`.
+    fn kind(msg: &Self::Msg) -> &'static str {
+        let _ = msg;
+        "msg"
+    }
+}
+
+/// Deferred side effects collected from a protocol callback.
+enum Action<M> {
+    Send { to: usize, msg: M },
+    Timer { delay: u64, token: u64 },
+}
+
+/// The world as seen from inside a protocol callback.
+pub struct Ctx<'a, M> {
+    /// The node this callback runs at.
+    pub node: usize,
+    now: Time,
+    neighbors: &'a [usize],
+    actions: &'a mut Vec<Action<M>>,
+    rng: &'a mut Rng,
+    metrics: &'a mut Metrics,
+    trace: &'a TraceSink,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The node's current physical neighbors (sorted by index).
+    #[inline]
+    pub fn neighbors(&self) -> &[usize] {
+        self.neighbors
+    }
+
+    /// Queues `msg` for transmission to physical neighbor `to`.
+    ///
+    /// # Panics
+    /// Panics if `to` is not currently a physical neighbor — protocols must
+    /// not assume links they do not have.
+    pub fn send(&mut self, to: usize, msg: M) {
+        assert!(
+            self.neighbors.binary_search(&to).is_ok(),
+            "node {} tried to send to non-neighbor {}",
+            self.node,
+            to
+        );
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Queues `msg` to every physical neighbor.
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for &to in self.neighbors {
+            self.actions.push(Action::Send {
+                to,
+                msg: msg.clone(),
+            });
+        }
+    }
+
+    /// Schedules [`Protocol::on_timer`] with `token` after `delay` ticks
+    /// (minimum 1).
+    pub fn set_timer(&mut self, delay: u64, token: u64) {
+        self.actions.push(Action::Timer {
+            delay: delay.max(1),
+            token,
+        });
+    }
+
+    /// The run's metrics registry.
+    #[inline]
+    pub fn metrics(&mut self) -> &mut Metrics {
+        self.metrics
+    }
+
+    /// The run's deterministic RNG.
+    #[inline]
+    pub fn rng(&mut self) -> &mut Rng {
+        self.rng
+    }
+
+    /// Emits a trace annotation (no-op unless tracing is enabled).
+    pub fn note(&mut self, text: impl Into<String>) {
+        if self.trace.enabled() {
+            self.trace.record(TraceEvent::Note {
+                at: self.now,
+                node: self.node,
+                text: text.into(),
+            });
+        }
+    }
+}
+
+/// Why a run loop returned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunOutcome {
+    /// The event queue drained — no protocol has anything left to do.
+    Quiescent(Time),
+    /// The time budget was exhausted with events still pending.
+    Budget(Time),
+}
+
+impl RunOutcome {
+    /// The time at which the loop stopped.
+    pub fn time(self) -> Time {
+        match self {
+            RunOutcome::Quiescent(t) | RunOutcome::Budget(t) => t,
+        }
+    }
+
+    /// `true` if the network went quiescent.
+    pub fn is_quiescent(self) -> bool {
+        matches!(self, RunOutcome::Quiescent(_))
+    }
+}
+
+/// The discrete-event simulator.
+pub struct Simulator<P: Protocol> {
+    topo: Graph,
+    alive: Vec<bool>,
+    protocols: Vec<P>,
+    queue: EventQueue<P::Msg>,
+    now: Time,
+    cfg: LinkConfig,
+    rng: Rng,
+    metrics: Metrics,
+    trace: TraceSink,
+    nbr_buf: Vec<usize>,
+    action_buf: Vec<Action<P::Msg>>,
+    events_processed: u64,
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Builds a simulator over `topo` with one protocol instance per node
+    /// and runs every node's `on_init` at time 0 (in index order).
+    ///
+    /// # Panics
+    /// Panics if `protocols.len() != topo.node_count()`.
+    pub fn new(topo: Graph, protocols: Vec<P>, cfg: LinkConfig, seed: u64) -> Self {
+        Self::with_trace(topo, protocols, cfg, seed, TraceSink::disabled())
+    }
+
+    /// Like [`Simulator::new`] with an explicit trace sink.
+    pub fn with_trace(
+        topo: Graph,
+        protocols: Vec<P>,
+        cfg: LinkConfig,
+        seed: u64,
+        trace: TraceSink,
+    ) -> Self {
+        assert_eq!(
+            protocols.len(),
+            topo.node_count(),
+            "one protocol instance per node required"
+        );
+        let n = topo.node_count();
+        let mut sim = Simulator {
+            topo,
+            alive: vec![true; n],
+            protocols,
+            queue: EventQueue::new(),
+            now: Time::ZERO,
+            cfg,
+            rng: Rng::new(seed),
+            metrics: Metrics::new(),
+            trace,
+            nbr_buf: Vec::new(),
+            action_buf: Vec::new(),
+            events_processed: 0,
+        };
+        for node in 0..n {
+            sim.dispatch(node, |p, ctx| p.on_init(ctx));
+        }
+        sim
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The physical topology (reflecting applied faults).
+    pub fn topology(&self) -> &Graph {
+        &self.topo
+    }
+
+    /// `true` if `node` is currently up.
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.alive[node]
+    }
+
+    /// Shared view of node `u`'s protocol state.
+    pub fn protocol(&self, u: usize) -> &P {
+        &self.protocols[u]
+    }
+
+    /// Mutable access to node `u`'s protocol state — for experiment-side
+    /// *state injection* (e.g. starting from the paper's adversarial loopy
+    /// or partitioned configurations). Protocol callbacks themselves never
+    /// get this.
+    pub fn protocol_mut(&mut self, u: usize) -> &mut P {
+        &mut self.protocols[u]
+    }
+
+    /// All protocol instances, indexed by node.
+    pub fn protocols(&self) -> &[P] {
+        &self.protocols
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable metrics access (for experiment-level annotations).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of pending events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules a fault at absolute time `at` (must not be in the past).
+    pub fn schedule_fault(&mut self, at: Time, fault: Fault) {
+        assert!(at >= self.now, "fault scheduled in the past");
+        self.queue.push(at, EventKind::Fault(fault));
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        self.events_processed += 1;
+        match ev.kind {
+            EventKind::Deliver { dst, from, msg } => self.deliver(dst, from, msg),
+            EventKind::Timer { node, token } => {
+                if self.alive[node] {
+                    self.dispatch(node, |p, ctx| p.on_timer(ctx, token));
+                }
+            }
+            EventKind::Fault(fault) => self.apply_fault(fault),
+        }
+        true
+    }
+
+    /// Runs until the queue drains or simulated time reaches `deadline`.
+    pub fn run_until(&mut self, deadline: Time) -> RunOutcome {
+        loop {
+            match self.queue.peek_time() {
+                None => return RunOutcome::Quiescent(self.now),
+                Some(t) if t > deadline => {
+                    self.now = deadline;
+                    return RunOutcome::Budget(self.now);
+                }
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Runs until quiescence, but at most `max_ticks` further ticks.
+    pub fn run_to_quiescence(&mut self, max_ticks: u64) -> RunOutcome {
+        let deadline = self.now.saturating_add(max_ticks);
+        self.run_until(deadline)
+    }
+
+    /// Runs in `check_every`-tick slices until `stable` returns `true` (its
+    /// arguments are the protocol states and the current time), the queue
+    /// drains, or `max_ticks` elapse. Use this for protocols with periodic
+    /// timers that never go quiescent on their own (e.g. VRR hello beacons).
+    pub fn run_until_stable(
+        &mut self,
+        check_every: u64,
+        max_ticks: u64,
+        mut stable: impl FnMut(&[P], Time) -> bool,
+    ) -> RunOutcome {
+        let deadline = self.now.saturating_add(max_ticks);
+        loop {
+            if stable(&self.protocols, self.now) {
+                return RunOutcome::Quiescent(self.now);
+            }
+            if self.now >= deadline {
+                return RunOutcome::Budget(self.now);
+            }
+            let slice_end = self.now.saturating_add(check_every.max(1)).min(deadline);
+            if self.run_until(slice_end).is_quiescent() {
+                let ok = stable(&self.protocols, self.now);
+                return if ok {
+                    RunOutcome::Quiescent(self.now)
+                } else {
+                    // Quiescent but not stable: nothing more will happen.
+                    RunOutcome::Budget(self.now)
+                };
+            }
+        }
+    }
+
+    /// Runs `node`'s callback with a fully wired [`Ctx`], then applies the
+    /// actions it queued.
+    fn dispatch(&mut self, node: usize, f: impl FnOnce(&mut P, &mut Ctx<'_, P::Msg>)) {
+        let mut nbrs = std::mem::take(&mut self.nbr_buf);
+        nbrs.clear();
+        nbrs.extend(self.topo.neighbors(node).filter(|&v| self.alive[v]));
+        let mut actions = std::mem::take(&mut self.action_buf);
+        actions.clear();
+        {
+            let mut ctx = Ctx {
+                node,
+                now: self.now,
+                neighbors: &nbrs,
+                actions: &mut actions,
+                rng: &mut self.rng,
+                metrics: &mut self.metrics,
+                trace: &self.trace,
+            };
+            f(&mut self.protocols[node], &mut ctx);
+        }
+        for action in actions.drain(..) {
+            match action {
+                Action::Send { to, msg } => self.transmit(node, to, msg),
+                Action::Timer { delay, token } => {
+                    self.queue.push(self.now + delay, EventKind::Timer { node, token });
+                }
+            }
+        }
+        self.nbr_buf = nbrs;
+        self.action_buf = actions;
+    }
+
+    /// Link-layer transmission: meters the hop, samples loss and latency.
+    fn transmit(&mut self, from: usize, to: usize, msg: P::Msg) {
+        let kind = P::kind(&msg);
+        self.metrics.incr("tx.total");
+        self.metrics.incr(kind_key(kind));
+        if self.trace.enabled() {
+            self.trace.record(TraceEvent::Send {
+                at: self.now,
+                from,
+                to,
+                kind,
+            });
+        }
+        if self.cfg.drop_prob > 0.0 && self.rng.chance(self.cfg.drop_prob) {
+            self.metrics.incr("tx.dropped");
+            if self.trace.enabled() {
+                self.trace.record(TraceEvent::Lost {
+                    at: self.now,
+                    from,
+                    to,
+                    reason: "link-drop",
+                });
+            }
+            return;
+        }
+        let latency = self.cfg.latency.sample(&mut self.rng);
+        self.queue
+            .push(self.now + latency, EventKind::Deliver { dst: to, from, msg });
+    }
+
+    /// Delivery-time checks: the receiver must still be alive and the link
+    /// must still exist (mobility may have severed it in flight).
+    fn deliver(&mut self, dst: usize, from: usize, msg: P::Msg) {
+        if !self.alive[dst] || !self.alive[from] || !self.topo.has_edge(from, dst) {
+            self.metrics.incr("tx.lost_in_flight");
+            if self.trace.enabled() {
+                self.trace.record(TraceEvent::Lost {
+                    at: self.now,
+                    from,
+                    to: dst,
+                    reason: "stale-link",
+                });
+            }
+            return;
+        }
+        if self.trace.enabled() {
+            let kind = P::kind(&msg);
+            self.trace.record(TraceEvent::Deliver {
+                at: self.now,
+                from,
+                to: dst,
+                kind,
+            });
+        }
+        self.metrics.incr("rx.total");
+        self.dispatch(dst, |p, ctx| p.on_message(ctx, from, msg));
+    }
+
+    fn apply_fault(&mut self, fault: Fault) {
+        if self.trace.enabled() {
+            self.trace.record(TraceEvent::Fault {
+                at: self.now,
+                desc: format!("{fault:?}"),
+            });
+        }
+        match fault {
+            Fault::Crash { node } => {
+                if !self.alive[node] {
+                    return;
+                }
+                self.alive[node] = false;
+                self.metrics.incr("fault.crash");
+                let nbrs: Vec<usize> = self
+                    .topo
+                    .neighbors(node)
+                    .filter(|&v| self.alive[v])
+                    .collect();
+                for v in nbrs {
+                    self.dispatch(v, |p, ctx| p.on_neighbor_down(ctx, node));
+                }
+            }
+            Fault::Join { node, links } => {
+                if self.alive[node] {
+                    return;
+                }
+                // Sever any stale physical edges from before the crash, then
+                // install the new ones.
+                let old: Vec<usize> = self.topo.isolate(node);
+                let _ = old;
+                self.alive[node] = true;
+                self.metrics.incr("fault.join");
+                let mut fresh = Vec::new();
+                for l in links {
+                    if l != node && l < self.topo.node_count() && self.alive[l] {
+                        self.topo.add_edge(node, l);
+                        fresh.push(l);
+                    }
+                }
+                self.protocols[node].reset();
+                self.dispatch(node, |p, ctx| p.on_init(ctx));
+                for v in fresh {
+                    self.dispatch(v, |p, ctx| p.on_neighbor_up(ctx, node));
+                }
+            }
+            Fault::LinkDown { a, b } => {
+                if self.topo.remove_edge(a, b) {
+                    self.metrics.incr("fault.link_down");
+                    if self.alive[a] {
+                        self.dispatch(a, |p, ctx| p.on_neighbor_down(ctx, b));
+                    }
+                    if self.alive[b] {
+                        self.dispatch(b, |p, ctx| p.on_neighbor_down(ctx, a));
+                    }
+                }
+            }
+            Fault::LinkUp { a, b } => {
+                if a != b && self.alive[a] && self.alive[b] && self.topo.add_edge(a, b) {
+                    self.metrics.incr("fault.link_up");
+                    self.dispatch(a, |p, ctx| p.on_neighbor_up(ctx, b));
+                    self.dispatch(b, |p, ctx| p.on_neighbor_up(ctx, a));
+                }
+            }
+        }
+    }
+}
+
+/// Maps a protocol message kind to its metrics key. Kinds used by the
+/// workspace protocols are interned here; unknown kinds fall back to
+/// `"msg.other"` so the sum under `msg.` is always the total.
+fn kind_key(kind: &'static str) -> &'static str {
+    match kind {
+        "notify" => "msg.notify",
+        "ack" => "msg.ack",
+        "teardown" => "msg.teardown",
+        "discover" => "msg.discover",
+        "succ" => "msg.succ",
+        "update" => "msg.update",
+        "flood" => "msg.flood",
+        "hello" => "msg.hello",
+        "setup" => "msg.setup",
+        "data" => "msg.data",
+        "probe" => "msg.probe",
+        "msg" => "msg.other",
+        _ => "msg.other",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_graph::generators;
+
+    /// A toy protocol: floods a token through the network once, recording
+    /// the hop count at which it first arrived.
+    #[derive(Clone, Debug)]
+    struct Flood {
+        seen: bool,
+        first_hops: Option<u64>,
+        origin: bool,
+    }
+
+    #[derive(Clone, Debug)]
+    struct FloodMsg {
+        hops: u64,
+    }
+
+    impl Protocol for Flood {
+        type Msg = FloodMsg;
+
+        fn on_init(&mut self, ctx: &mut Ctx<'_, FloodMsg>) {
+            if self.origin {
+                self.seen = true;
+                self.first_hops = Some(0);
+                ctx.broadcast(FloodMsg { hops: 1 });
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, FloodMsg>, _from: usize, msg: FloodMsg) {
+            if !self.seen {
+                self.seen = true;
+                self.first_hops = Some(msg.hops);
+                ctx.broadcast(FloodMsg { hops: msg.hops + 1 });
+            }
+        }
+
+        fn reset(&mut self) {
+            self.seen = false;
+            self.first_hops = None;
+        }
+
+        fn kind(_msg: &FloodMsg) -> &'static str {
+            "flood"
+        }
+    }
+
+    fn flood_sim(n: usize, seed: u64) -> Simulator<Flood> {
+        let topo = generators::ring(n);
+        let protocols: Vec<Flood> = (0..n)
+            .map(|u| Flood {
+                seen: false,
+                first_hops: None,
+                origin: u == 0,
+            })
+            .collect();
+        Simulator::new(topo, protocols, LinkConfig::ideal(), seed)
+    }
+
+    #[test]
+    fn flood_reaches_everyone_with_bfs_hops() {
+        let mut sim = flood_sim(10, 1);
+        let outcome = sim.run_to_quiescence(1_000);
+        assert!(outcome.is_quiescent());
+        for u in 0..10 {
+            let hops = sim.protocol(u).first_hops.expect("node not reached");
+            let expected = u.min(10 - u) as u64;
+            assert_eq!(hops, expected, "node {u}");
+        }
+    }
+
+    #[test]
+    fn unit_latency_makes_time_equal_eccentricity() {
+        let mut sim = flood_sim(10, 2);
+        let outcome = sim.run_to_quiescence(1_000);
+        // On a 10-ring, the farthest node is 5 hops out; the final wasted
+        // re-broadcasts take one more tick.
+        assert!(outcome.time().ticks() >= 5);
+        assert!(outcome.time().ticks() <= 7);
+    }
+
+    #[test]
+    fn messages_are_metered() {
+        let mut sim = flood_sim(8, 3);
+        sim.run_to_quiescence(1_000);
+        // every node broadcasts exactly once on a degree-2 ring
+        assert_eq!(sim.metrics().counter("tx.total"), 16);
+        assert_eq!(sim.metrics().counter("msg.flood"), 16);
+        assert_eq!(sim.metrics().counter_sum("msg."), 16);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed| {
+            let topo = generators::gnp(30, 0.15, &mut Rng::new(9));
+            let protocols: Vec<Flood> = (0..30)
+                .map(|u| Flood {
+                    seen: false,
+                    first_hops: None,
+                    origin: u == 0,
+                })
+                .collect();
+            let trace = TraceSink::memory();
+            let mut sim = Simulator::with_trace(
+                topo,
+                protocols,
+                LinkConfig::jittered(1, 4),
+                seed,
+                trace.clone(),
+            );
+            sim.run_to_quiescence(10_000);
+            trace.snapshot()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn lossy_links_drop_messages() {
+        let topo = generators::complete(6);
+        let protocols: Vec<Flood> = (0..6)
+            .map(|u| Flood {
+                seen: false,
+                first_hops: None,
+                origin: u == 0,
+            })
+            .collect();
+        let mut sim = Simulator::new(topo, protocols, LinkConfig::lossy(0.5), 7);
+        sim.run_to_quiescence(1_000);
+        assert!(sim.metrics().counter("tx.dropped") > 0);
+    }
+
+    #[test]
+    fn crash_stops_participation_and_join_restarts() {
+        let mut sim = flood_sim(6, 5);
+        sim.schedule_fault(Time(0), Fault::Crash { node: 3 });
+        sim.run_to_quiescence(1_000);
+        // crash at t=0 happens after init broadcasts but before delivery:
+        // node 3 must not have flooded on
+        assert!(!sim.is_alive(3));
+        // rejoin with its old links
+        sim.schedule_fault(Time(100), Fault::Join { node: 3, links: vec![2, 4] });
+        sim.run_to_quiescence(1_000);
+        assert!(sim.is_alive(3));
+        assert!(sim.topology().has_edge(3, 2));
+        assert!(sim.topology().has_edge(3, 4));
+        // protocol state was reset; non-origin node stays unseen (flood over)
+        assert!(!sim.protocol(3).seen);
+    }
+
+    #[test]
+    fn link_down_blocks_direct_delivery() {
+        let topo = generators::line(3); // 0-1-2
+        let protocols: Vec<Flood> = (0..3)
+            .map(|u| Flood {
+                seen: false,
+                first_hops: None,
+                origin: u == 0,
+            })
+            .collect();
+        let mut sim = Simulator::new(topo, protocols, LinkConfig::ideal(), 11);
+        // Cut 0-1 immediately: nothing can reach 1 or 2 (fault at t=0 is
+        // processed after init's sends are queued but before delivery at t=1;
+        // in-flight messages over the cut link are lost).
+        sim.schedule_fault(Time(0), Fault::LinkDown { a: 0, b: 1 });
+        sim.run_to_quiescence(1_000);
+        assert!(!sim.protocol(1).seen);
+        assert!(!sim.protocol(2).seen);
+        assert!(sim.metrics().counter("tx.lost_in_flight") > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn sending_to_non_neighbor_panics() {
+        #[derive(Clone)]
+        struct Bad;
+        impl Protocol for Bad {
+            type Msg = ();
+            fn on_init(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.send(2, ()); // 0 and 2 are not adjacent on a line
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: usize, _: ()) {}
+            fn reset(&mut self) {}
+        }
+        let topo = generators::line(3);
+        let _ = Simulator::new(topo, vec![Bad, Bad, Bad], LinkConfig::ideal(), 0);
+    }
+
+    #[test]
+    fn run_outcome_accessors() {
+        let q = RunOutcome::Quiescent(Time(5));
+        let b = RunOutcome::Budget(Time(9));
+        assert!(q.is_quiescent());
+        assert!(!b.is_quiescent());
+        assert_eq!(q.time(), Time(5));
+        assert_eq!(b.time(), Time(9));
+    }
+
+    #[test]
+    fn run_until_never_passes_the_deadline() {
+        let mut sim = flood_sim(10, 4);
+        let outcome = sim.run_until(Time(2));
+        assert_eq!(outcome, RunOutcome::Budget(Time(2)));
+        assert!(sim.now() <= Time(2));
+        assert!(sim.pending_events() > 0);
+        // resuming continues from where we stopped
+        let outcome = sim.run_to_quiescence(10_000);
+        assert!(outcome.is_quiescent());
+    }
+
+    #[test]
+    fn events_processed_counts_monotonically() {
+        let mut sim = flood_sim(6, 8);
+        let before = sim.events_processed();
+        sim.run_to_quiescence(1_000);
+        assert!(sim.events_processed() > before);
+    }
+
+    #[test]
+    fn run_until_stable_with_periodic_timers() {
+        /// Beacons forever; "stable" once everyone has beaconed 3 times.
+        #[derive(Clone)]
+        struct Beacon {
+            fired: u32,
+        }
+        impl Protocol for Beacon {
+            type Msg = ();
+            fn on_init(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.set_timer(1, 0);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: usize, _: ()) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, _: u64) {
+                self.fired += 1;
+                ctx.set_timer(1, 0);
+            }
+            fn reset(&mut self) {
+                self.fired = 0;
+            }
+        }
+        let topo = generators::line(4);
+        let mut sim = Simulator::new(topo, vec![Beacon { fired: 0 }; 4], LinkConfig::ideal(), 1);
+        let outcome = sim.run_until_stable(2, 10_000, |ps, _| ps.iter().all(|p| p.fired >= 3));
+        assert!(outcome.is_quiescent());
+        assert!(outcome.time().ticks() < 100);
+    }
+}

@@ -1,0 +1,86 @@
+//! Simulated time.
+//!
+//! Time is a monotone `u64` tick counter. With the default link latency of
+//! one tick, a tick corresponds to one synchronous *round* in the sense of
+//! Onus et al., which is the unit all convergence results are stated in.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (ticks since simulation start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// Simulation start.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable time (used as "never").
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// The raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of a tick delta.
+    #[inline]
+    pub fn saturating_add(self, delta: u64) -> Time {
+        Time(self.0.saturating_add(delta))
+    }
+}
+
+impl Add<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: u64) -> Time {
+        Time(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: Time) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = Time(10);
+        assert_eq!(t + 5, Time(15));
+        assert_eq!(Time(15) - t, 5);
+        let mut u = t;
+        u += 7;
+        assert_eq!(u, Time(17));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time::ZERO < Time(1));
+        assert!(Time(1) < Time::MAX);
+    }
+
+    #[test]
+    fn saturating() {
+        assert_eq!(Time::MAX.saturating_add(10), Time::MAX);
+    }
+}

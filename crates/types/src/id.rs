@@ -1,0 +1,118 @@
+//! Node identifiers.
+//!
+//! SSR and VRR assign every node a fixed-width address drawn from a flat
+//! identifier space; the address determines the node's position on the
+//! virtual ring (and, under the linearized reading, on the line). We use a
+//! 64-bit space. Identifiers are required to be unique — the linearization
+//! algorithm of Onus et al. is only defined for graphs with unique node
+//! identifiers.
+
+use core::fmt;
+
+/// A node's address in the 64-bit identifier space.
+///
+/// `NodeId` is `Copy` and totally ordered; the `Ord` instance is the *linear*
+/// order used by linearization. Ring-order comparisons live in
+/// [`crate::ring`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    /// The smallest possible identifier.
+    pub const MIN: NodeId = NodeId(0);
+    /// The largest possible identifier.
+    pub const MAX: NodeId = NodeId(u64::MAX);
+
+    /// Creates an identifier from a raw 64-bit value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        NodeId(raw)
+    }
+
+    /// The raw 64-bit value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Absolute distance on the *line* (the linearized reading of the
+    /// identifier space): `|self - other|`.
+    #[inline]
+    pub fn line_dist(self, other: NodeId) -> u64 {
+        self.0.abs_diff(other.0)
+    }
+
+    /// `true` if `self` lies strictly between `a` and `b` on the line,
+    /// regardless of the order of `a` and `b`.
+    #[inline]
+    pub fn strictly_between(self, a: NodeId, b: NodeId) -> bool {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        lo < self && self < hi
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(raw: u64) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl From<NodeId> for u64 {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_linear_order() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(NodeId(0) < NodeId(u64::MAX));
+        assert_eq!(NodeId(7), NodeId(7));
+    }
+
+    #[test]
+    fn line_dist_is_symmetric() {
+        assert_eq!(NodeId(3).line_dist(NodeId(10)), 7);
+        assert_eq!(NodeId(10).line_dist(NodeId(3)), 7);
+        assert_eq!(NodeId(5).line_dist(NodeId(5)), 0);
+        assert_eq!(NodeId::MIN.line_dist(NodeId::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn strictly_between_ignores_argument_order() {
+        assert!(NodeId(5).strictly_between(NodeId(1), NodeId(9)));
+        assert!(NodeId(5).strictly_between(NodeId(9), NodeId(1)));
+        assert!(!NodeId(1).strictly_between(NodeId(1), NodeId(9)));
+        assert!(!NodeId(9).strictly_between(NodeId(1), NodeId(9)));
+        assert!(!NodeId(0).strictly_between(NodeId(1), NodeId(9)));
+    }
+
+    #[test]
+    fn debug_and_display() {
+        assert_eq!(format!("{:?}", NodeId(42)), "n42");
+        assert_eq!(format!("{}", NodeId(42)), "42");
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let id: NodeId = 99u64.into();
+        let raw: u64 = id.into();
+        assert_eq!(raw, 99);
+    }
+}

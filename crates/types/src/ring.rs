@@ -1,0 +1,152 @@
+//! Ring arithmetic on the 64-bit identifier space.
+//!
+//! SSR views the identifier space as "the circularly connected address
+//! space": after [`NodeId::MAX`](crate::NodeId::MAX) comes
+//! [`NodeId::MIN`](crate::NodeId::MIN). Greedy routing and the successor
+//! relation of ISPRP are defined in terms of *clockwise* (increasing-address)
+//! distance on that ring.
+//!
+//! Linearization, by contrast, deliberately drops the wrap-around and reads
+//! the space as a line — that reading lives on
+//! [`NodeId`] itself (`Ord`, `line_dist`).
+
+use crate::NodeId;
+
+/// Clockwise (increasing-address, wrapping) distance from `a` to `b`.
+///
+/// `cw_dist(a, b)` is the number of steps from `a` to `b` when walking the
+/// ring in the direction of increasing addresses. It is zero iff `a == b`,
+/// and `cw_dist(a, b) + cw_dist(b, a) == 2^64` for `a != b` (computed with
+/// wrapping arithmetic).
+#[inline]
+pub fn cw_dist(a: NodeId, b: NodeId) -> u64 {
+    b.0.wrapping_sub(a.0)
+}
+
+/// Undirected ring distance: the length of the shorter arc between `a` and
+/// `b`.
+#[inline]
+pub fn ring_dist(a: NodeId, b: NodeId) -> u64 {
+    let cw = cw_dist(a, b);
+    let ccw = cw_dist(b, a);
+    cw.min(ccw)
+}
+
+/// `true` iff walking clockwise from `from` (exclusive) one meets `x` no
+/// later than `to` (inclusive).
+///
+/// This is the standard Chord-style "`x ∈ (from, to]` on the ring" test that
+/// the ISPRP successor relation is built from. If `from == to` the interval
+/// is the whole ring minus `from`, so every `x != from` is inside.
+#[inline]
+pub fn ring_between_cw(from: NodeId, x: NodeId, to: NodeId) -> bool {
+    if x == from {
+        return false;
+    }
+    cw_dist(from, x) <= cw_dist(from, to) || from == to
+}
+
+/// Of `a` and `b`, returns the one with the smaller clockwise distance from
+/// `v`, i.e. the better *successor candidate* for `v`. Ties (only possible if
+/// `a == b`) return `a`.
+#[inline]
+pub fn closer_successor(v: NodeId, a: NodeId, b: NodeId) -> NodeId {
+    if cw_dist(v, a) <= cw_dist(v, b) {
+        a
+    } else {
+        b
+    }
+}
+
+/// Of `a` and `b`, returns the one with the smaller *undirected* ring
+/// distance to `target`; on a tie, the one with the smaller clockwise
+/// distance (a deterministic tie-break so greedy routing is replayable).
+#[inline]
+pub fn ring_closer(target: NodeId, a: NodeId, b: NodeId) -> NodeId {
+    let da = ring_dist(a, target);
+    let db = ring_dist(b, target);
+    if da < db {
+        a
+    } else if db < da {
+        b
+    } else if cw_dist(a, target) <= cw_dist(b, target) {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N0: NodeId = NodeId(0);
+    const N10: NodeId = NodeId(10);
+    const N20: NodeId = NodeId(20);
+    const NMAX: NodeId = NodeId(u64::MAX);
+
+    #[test]
+    fn cw_dist_basic_and_wrapping() {
+        assert_eq!(cw_dist(N10, N20), 10);
+        assert_eq!(cw_dist(N20, N10), u64::MAX - 9);
+        assert_eq!(cw_dist(NMAX, N0), 1);
+        assert_eq!(cw_dist(N0, NMAX), u64::MAX);
+        assert_eq!(cw_dist(N10, N10), 0);
+    }
+
+    #[test]
+    fn cw_dist_arcs_sum_to_ring_length() {
+        // cw(a,b) + cw(b,a) wraps to 0 == 2^64 mod 2^64 for a != b.
+        let pairs = [(N0, N10), (N10, NMAX), (NodeId(5), NodeId(123456))];
+        for (a, b) in pairs {
+            assert_eq!(cw_dist(a, b).wrapping_add(cw_dist(b, a)), 0);
+        }
+    }
+
+    #[test]
+    fn ring_dist_is_shorter_arc() {
+        assert_eq!(ring_dist(N10, N20), 10);
+        assert_eq!(ring_dist(N20, N10), 10);
+        assert_eq!(ring_dist(NMAX, N0), 1);
+        assert_eq!(ring_dist(N0, NodeId(u64::MAX / 2)), u64::MAX / 2);
+    }
+
+    #[test]
+    fn between_cw_half_open_interval() {
+        assert!(ring_between_cw(N0, N10, N20));
+        assert!(ring_between_cw(N0, N20, N20)); // inclusive right end
+        assert!(!ring_between_cw(N0, N0, N20)); // exclusive left end
+        assert!(!ring_between_cw(N0, NodeId(21), N20));
+        // wrapping interval (MAX, 10]
+        assert!(ring_between_cw(NMAX, N0, N10));
+        assert!(ring_between_cw(NMAX, N10, N10));
+        assert!(!ring_between_cw(NMAX, NodeId(11), N10));
+    }
+
+    #[test]
+    fn degenerate_interval_is_whole_ring() {
+        // (a, a] on the ring contains everything except a itself.
+        assert!(ring_between_cw(N10, N20, N10));
+        assert!(ring_between_cw(N10, N0, N10));
+        assert!(!ring_between_cw(N10, N10, N10));
+    }
+
+    #[test]
+    fn closer_successor_picks_smaller_cw_arc() {
+        assert_eq!(closer_successor(N10, N20, NMAX), N20);
+        assert_eq!(closer_successor(NMAX, N0, N10), N0);
+        // wrap: from 20, node 0 is cw-closer than node 10? cw(20,0) is huge,
+        // cw(20,10) is huge-10, so 10 loses... check carefully:
+        // cw(20, 0) = 2^64-20, cw(20, 10) = 2^64-10, so 0 is closer.
+        assert_eq!(closer_successor(N20, N0, N10), N0);
+    }
+
+    #[test]
+    fn ring_closer_deterministic_tie_break() {
+        // 5 and 15 are both ring-distance 5 from 10; the cw tie-break picks
+        // 15 (cw_dist(15,10) = 2^64-5 > cw_dist(5,10)=5 so actually 5 wins).
+        assert_eq!(ring_closer(N10, NodeId(5), NodeId(15)), NodeId(5));
+        assert_eq!(ring_closer(N10, NodeId(15), NodeId(5)), NodeId(5));
+        assert_eq!(ring_closer(N10, NodeId(9), NodeId(15)), NodeId(9));
+    }
+}

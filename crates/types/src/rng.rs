@@ -1,0 +1,345 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every topology generator, workload, and simulation in this workspace is
+//! driven by a seedable generator so that an experiment is exactly
+//! reproducible from `(code, seed)`. We implement SplitMix64 (for seeding
+//! and cheap streams) and xoshiro256** (the workhorse), plus the handful of
+//! distributions the experiments need (uniform ranges without modulo bias,
+//! floats, exponential inter-arrival times, and Fisher–Yates shuffling).
+//! Implementing these ~200 lines ourselves keeps the replay format stable
+//! across external crate versions (see DESIGN.md).
+
+/// SplitMix64 — a tiny, high-quality 64-bit generator, used both directly
+/// and to expand seeds for [`Xoshiro256StarStar`].
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256** — the default generator for simulations.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Seeds the generator by expanding `seed` with SplitMix64 (the
+    /// initialization recommended by the xoshiro authors).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256StarStar {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// The next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The workspace RNG: xoshiro256** with distribution helpers.
+///
+/// Cloning an `Rng` forks an identical stream; use [`Rng::split`] to derive
+/// an *independent* stream (e.g. one per node, or one per sweep point run on
+/// a worker thread).
+#[derive(Clone, Debug)]
+pub struct Rng {
+    inner: Xoshiro256StarStar,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Rng {
+            inner: Xoshiro256StarStar::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent generator, keyed by `stream`. Two splits of the
+    /// same generator with different keys produce unrelated streams; the
+    /// parent stream is not advanced.
+    pub fn split(&self, stream: u64) -> Rng {
+        // Mix the parent state with the stream key through SplitMix64.
+        let mut sm = SplitMix64::new(
+            self.inner.s[0] ^ self.inner.s[3].rotate_left(17) ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        Rng {
+            inner: Xoshiro256StarStar { s },
+        }
+    }
+
+    /// The next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform in `[0, bound)` without modulo bias (Lemire's method).
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is undefined");
+        // Widening multiply rejection sampling.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    #[inline]
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Uniform in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.f64() < p
+        }
+    }
+
+    /// Exponentially distributed sample with rate `lambda` (mean
+    /// `1/lambda`), via inverse transform. Used for churn inter-arrival
+    /// times and link latency jitter.
+    ///
+    /// # Panics
+    /// Panics if `lambda <= 0`.
+    #[inline]
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        assert!(lambda > 0.0, "rate must be positive");
+        // 1 - f64() is in (0, 1]; ln of it is finite.
+        -(1.0 - self.f64()).ln() / lambda
+    }
+
+    /// Pareto-distributed sample with shape `alpha` and scale 1 — the heavy
+    /// tail used by the power-law degree generator.
+    #[inline]
+    pub fn pareto(&mut self, alpha: f64) -> f64 {
+        assert!(alpha > 0.0, "shape must be positive");
+        (1.0 - self.f64()).powf(-1.0 / alpha)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Uniformly chosen element, or `None` for an empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.index(slice.len())])
+        }
+    }
+
+    /// A random `NodeId` (uniform over the whole space).
+    pub fn node_id(&mut self) -> crate::NodeId {
+        crate::NodeId(self.next_u64())
+    }
+
+    /// `count` *distinct* random `NodeId`s, sorted ascending. Used to assign
+    /// node addresses: SSR requires globally unique identifiers.
+    pub fn distinct_node_ids(&mut self, count: usize) -> Vec<crate::NodeId> {
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < count {
+            set.insert(self.node_id());
+        }
+        set.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same <= 1);
+    }
+
+    #[test]
+    fn split_streams_are_independent_and_stable() {
+        let root = Rng::new(7);
+        let mut s1 = root.split(1);
+        let mut s1_again = root.split(1);
+        let mut s2 = root.split(2);
+        let a: Vec<u64> = (0..16).map(|_| s1.next_u64()).collect();
+        let b: Vec<u64> = (0..16).map(|_| s1_again.next_u64()).collect();
+        let c: Vec<u64> = (0..16).map(|_| s2.next_u64()).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = Rng::new(3);
+        for bound in [1u64, 2, 3, 7, 100, 1 << 40] {
+            for _ in 0..200 {
+                assert!(r.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = Rng::new(9);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[r.below(8) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(11);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = Rng::new(13);
+        let lambda = 4.0;
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(lambda)).sum::<f64>() / n as f64;
+        assert!((0.22..0.28).contains(&mean), "mean {mean}, expected 0.25");
+    }
+
+    #[test]
+    fn pareto_is_at_least_scale() {
+        let mut r = Rng::new(17);
+        for _ in 0..1000 {
+            assert!(r.pareto(2.0) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::new(19);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input in order (astronomically unlikely)");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut r = Rng::new(23);
+        let items = [1, 2, 3, 4];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(*r.choose(&items).unwrap());
+        }
+        assert_eq!(seen.len(), 4);
+        assert_eq!(r.choose::<u32>(&[]), None);
+    }
+
+    #[test]
+    fn distinct_node_ids_are_distinct_and_sorted() {
+        let mut r = Rng::new(29);
+        let ids = r.distinct_node_ids(1000);
+        assert_eq!(ids.len(), 1000);
+        for w in ids.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::new(31);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "hits {hits}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Wrapping protocol sequence numbers.
+//!
+//! Bootstrap and maintenance messages (neighbor notifications, hello
+//! beacons, discovery probes) carry sequence numbers so stale state can be
+//! superseded after churn. Comparison uses the standard serial-number
+//! arithmetic (RFC 1982 style) on 32 bits: `a` is newer than `b` iff
+//! `0 < (a - b) mod 2^32 < 2^31`.
+
+use core::fmt;
+
+/// A 32-bit wrapping sequence number.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Debug)]
+pub struct SeqNo(pub u32);
+
+impl SeqNo {
+    /// The initial sequence number.
+    pub const ZERO: SeqNo = SeqNo(0);
+
+    /// The next sequence number (wrapping).
+    #[inline]
+    pub fn next(self) -> SeqNo {
+        SeqNo(self.0.wrapping_add(1))
+    }
+
+    /// Advances in place and returns the *new* value.
+    #[inline]
+    pub fn bump(&mut self) -> SeqNo {
+        *self = self.next();
+        *self
+    }
+
+    /// `true` iff `self` is strictly newer than `other` under serial-number
+    /// arithmetic. Antisymmetric except at the ambiguous antipode
+    /// (distance exactly `2^31`), which compares "not newer" both ways.
+    #[inline]
+    pub fn newer_than(self, other: SeqNo) -> bool {
+        let diff = self.0.wrapping_sub(other.0);
+        diff != 0 && diff < (1 << 31)
+    }
+
+    /// `self.newer_than(other) || self == other`.
+    #[inline]
+    pub fn at_least(self, other: SeqNo) -> bool {
+        self == other || self.newer_than(other)
+    }
+}
+
+impl fmt::Display for SeqNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_without_wrap() {
+        assert!(SeqNo(5).newer_than(SeqNo(3)));
+        assert!(!SeqNo(3).newer_than(SeqNo(5)));
+        assert!(!SeqNo(5).newer_than(SeqNo(5)));
+    }
+
+    #[test]
+    fn ordering_across_wrap() {
+        assert!(SeqNo(2).newer_than(SeqNo(u32::MAX)));
+        assert!(!SeqNo(u32::MAX).newer_than(SeqNo(2)));
+    }
+
+    #[test]
+    fn antipode_is_mutually_not_newer() {
+        let a = SeqNo(0);
+        let b = SeqNo(1 << 31);
+        assert!(!a.newer_than(b));
+        assert!(!b.newer_than(a));
+    }
+
+    #[test]
+    fn next_and_bump() {
+        let mut s = SeqNo(u32::MAX);
+        assert_eq!(s.next(), SeqNo(0));
+        assert_eq!(s.bump(), SeqNo(0));
+        assert_eq!(s, SeqNo(0));
+        assert!(s.at_least(SeqNo(0)));
+    }
+}

@@ -1,0 +1,148 @@
+//! Wire-format helpers.
+//!
+//! SSR is a network-layer protocol: its messages — source routes in
+//! particular — travel in packet headers. To let the benchmark suite measure
+//! realistic header sizes and encode/decode cost (bench B6), this module
+//! defines a minimal length-prefixed binary encoding for identifiers, id
+//! lists (source routes), and sequence numbers on top of the `bytes` crate.
+//!
+//! The format is deliberately simple: big-endian fixed-width integers, with
+//! `u32` length prefixes for lists. It is *not* a compatibility surface —
+//! just a concrete, measurable representation.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{NodeId, SeqNo};
+
+/// Error returned when a buffer is too short or malformed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecodeError {
+    /// What the decoder was trying to read.
+    pub context: &'static str,
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "wire decode error while reading {}", self.context)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes a `NodeId` (8 bytes, big-endian).
+#[inline]
+pub fn put_node_id(buf: &mut BytesMut, id: NodeId) {
+    buf.put_u64(id.raw());
+}
+
+/// Decodes a `NodeId`.
+#[inline]
+pub fn get_node_id(buf: &mut Bytes) -> Result<NodeId, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError { context: "node id" });
+    }
+    Ok(NodeId(buf.get_u64()))
+}
+
+/// Encodes a `SeqNo` (4 bytes, big-endian).
+#[inline]
+pub fn put_seq(buf: &mut BytesMut, seq: SeqNo) {
+    buf.put_u32(seq.0);
+}
+
+/// Decodes a `SeqNo`.
+#[inline]
+pub fn get_seq(buf: &mut Bytes) -> Result<SeqNo, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError { context: "sequence number" });
+    }
+    Ok(SeqNo(buf.get_u32()))
+}
+
+/// Encodes an id list (source route) with a `u32` length prefix.
+pub fn put_id_list(buf: &mut BytesMut, ids: &[NodeId]) {
+    buf.put_u32(ids.len() as u32);
+    for &id in ids {
+        buf.put_u64(id.raw());
+    }
+}
+
+/// Decodes an id list.
+pub fn get_id_list(buf: &mut Bytes) -> Result<Vec<NodeId>, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError { context: "id list length" });
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len * 8 {
+        return Err(DecodeError { context: "id list body" });
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(NodeId(buf.get_u64()));
+    }
+    Ok(out)
+}
+
+/// Encoded size in bytes of an id list of the given length — the source
+/// route's contribution to a packet header.
+#[inline]
+pub fn id_list_encoded_len(route_len: usize) -> usize {
+    4 + route_len * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let mut buf = BytesMut::new();
+        put_node_id(&mut buf, NodeId(0xDEAD_BEEF_0000_0001));
+        let mut b = buf.freeze();
+        assert_eq!(get_node_id(&mut b).unwrap(), NodeId(0xDEAD_BEEF_0000_0001));
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn seq_roundtrip() {
+        let mut buf = BytesMut::new();
+        put_seq(&mut buf, SeqNo(77));
+        let mut b = buf.freeze();
+        assert_eq!(get_seq(&mut b).unwrap(), SeqNo(77));
+    }
+
+    #[test]
+    fn id_list_roundtrip() {
+        let ids: Vec<NodeId> = (0..17u64).map(NodeId).collect();
+        let mut buf = BytesMut::new();
+        put_id_list(&mut buf, &ids);
+        assert_eq!(buf.len(), id_list_encoded_len(17));
+        let mut b = buf.freeze();
+        assert_eq!(get_id_list(&mut b).unwrap(), ids);
+    }
+
+    #[test]
+    fn empty_id_list() {
+        let mut buf = BytesMut::new();
+        put_id_list(&mut buf, &[]);
+        let mut b = buf.freeze();
+        assert_eq!(get_id_list(&mut b).unwrap(), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn short_buffer_errors() {
+        let mut b = Bytes::from_static(&[0, 0, 0]);
+        assert!(get_node_id(&mut b.clone()).is_err());
+        assert!(get_seq(&mut b.clone()).is_err());
+        assert!(get_id_list(&mut b).is_err());
+    }
+
+    #[test]
+    fn truncated_list_body_errors() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(5); // claims 5 ids
+        buf.put_u64(1); // provides 1
+        let mut b = buf.freeze();
+        assert!(get_id_list(&mut b).is_err());
+    }
+}

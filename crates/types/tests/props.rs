@@ -1,0 +1,107 @@
+//! Property-based tests for the identifier-space primitives.
+
+use proptest::prelude::*;
+use ssr_types::{cw_dist, interval_index, ring_between_cw, ring_dist, IntervalPartition, NodeId, Rng, SeqNo, Side};
+
+proptest! {
+    #[test]
+    fn cw_arcs_partition_the_ring(a: u64, b: u64) {
+        let (a, b) = (NodeId(a), NodeId(b));
+        prop_assert_eq!(cw_dist(a, b).wrapping_add(cw_dist(b, a)), 0);
+        prop_assert_eq!(cw_dist(a, b) == 0, a == b);
+    }
+
+    #[test]
+    fn ring_dist_symmetric_and_bounded(a: u64, b: u64) {
+        let (a, b) = (NodeId(a), NodeId(b));
+        prop_assert_eq!(ring_dist(a, b), ring_dist(b, a));
+        // the shorter arc is at most half the ring
+        prop_assert!(ring_dist(a, b) <= 1u64 << 63);
+    }
+
+    #[test]
+    fn ring_dist_triangle_inequality_mod_ring(a: u64, b: u64, c: u64) {
+        let (a, b, c) = (NodeId(a), NodeId(b), NodeId(c));
+        // ring metric satisfies the triangle inequality (saturating to
+        // avoid overflow in the sum)
+        prop_assert!(ring_dist(a, c) <= ring_dist(a, b).saturating_add(ring_dist(b, c)));
+    }
+
+    #[test]
+    fn between_cw_trichotomy(from: u64, x: u64, to: u64) {
+        let (from, x, to) = (NodeId(from), NodeId(x), NodeId(to));
+        // every x != from is in exactly one of (from, to] and (to, from]
+        // when from != to
+        prop_assume!(from != to && x != from && x != to);
+        let in_first = ring_between_cw(from, x, to);
+        let in_second = ring_between_cw(to, x, from);
+        prop_assert!(in_first ^ in_second);
+    }
+
+    #[test]
+    fn interval_index_consistent_with_bounds(v: u64, u: u64) {
+        prop_assume!(v != u);
+        let (v, u) = (NodeId(v), NodeId(u));
+        let (side, idx) = interval_index(v, u).unwrap();
+        let dist = v.line_dist(u);
+        let p = IntervalPartition::base2();
+        let (lo, hi) = p.bounds(idx);
+        prop_assert!(dist >= lo);
+        if let Some(hi) = hi {
+            prop_assert!(dist < hi);
+        }
+        prop_assert_eq!(side == Side::Left, u < v);
+        prop_assert_eq!(p.index(v, u), Some((side, idx)));
+    }
+
+    #[test]
+    fn arbitrary_base_index_within_bounds(v: u64, u: u64, base in 2u64..=16) {
+        prop_assume!(v != u);
+        let (v, u) = (NodeId(v), NodeId(u));
+        let p = IntervalPartition::new(base);
+        let (_, idx) = p.index(v, u).unwrap();
+        let dist = v.line_dist(u) as u128;
+        let lo = (base as u128).pow(idx);
+        prop_assert!(dist >= lo, "dist {} < lo {} (base {}, idx {})", dist, lo, base, idx);
+        prop_assert!(dist < lo * base as u128 || idx == p.intervals_per_side() - 1);
+    }
+
+    #[test]
+    fn rng_below_in_range(seed: u64, bound in 1u64..u64::MAX) {
+        let mut r = Rng::new(seed);
+        for _ in 0..32 {
+            prop_assert!(r.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn rng_replay(seed: u64) {
+        let mut a = Rng::new(seed);
+        let mut b = Rng::new(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seqno_newer_is_antisymmetric_off_antipode(a: u32, b: u32) {
+        prop_assume!(a.wrapping_sub(b) != 1 << 31);
+        let (a, b) = (SeqNo(a), SeqNo(b));
+        if a != b {
+            prop_assert!(a.newer_than(b) ^ b.newer_than(a));
+        } else {
+            prop_assert!(!a.newer_than(b) && !b.newer_than(a));
+        }
+    }
+
+    #[test]
+    fn wire_id_list_roundtrip(ids in proptest::collection::vec(any::<u64>(), 0..200)) {
+        use bytes::BytesMut;
+        let ids: Vec<NodeId> = ids.into_iter().map(NodeId).collect();
+        let mut buf = BytesMut::new();
+        ssr_types::wire::put_id_list(&mut buf, &ids);
+        prop_assert_eq!(buf.len(), ssr_types::wire::id_list_encoded_len(ids.len()));
+        let mut b = buf.freeze();
+        prop_assert_eq!(ssr_types::wire::get_id_list(&mut b).unwrap(), ids);
+    }
+}

@@ -1,0 +1,230 @@
+//! Experiment drivers for the VRR bootstrap (mirrors
+//! `ssr_core::bootstrap`).
+
+use ssr_graph::{Graph, Labeling};
+use ssr_sim::{LinkConfig, Simulator};
+use ssr_types::NodeId;
+
+use crate::node::{VrrConfig, VrrMode, VrrNode};
+
+/// What a VRR bootstrap run cost and achieved.
+#[derive(Clone, Debug)]
+pub struct VrrBootstrapReport {
+    /// `true` iff the virtual ring became globally consistent.
+    pub converged: bool,
+    /// Ticks until convergence (or budget).
+    pub ticks: u64,
+    /// Per-kind message counts.
+    pub messages: Vec<(String, u64)>,
+    /// Total link-layer transmissions.
+    pub total_messages: u64,
+    /// Largest path table across nodes.
+    pub max_state: usize,
+    /// Mean path-table entries per node.
+    pub mean_state: f64,
+}
+
+/// Checks global ring consistency over VRR node states: the sorted line in
+/// the side sets plus mutually agreed wrap edges at the extremes.
+pub fn vrr_ring_consistent(nodes: &[VrrNode]) -> bool {
+    let n = nodes.len();
+    if n <= 1 {
+        return true;
+    }
+    let mut sorted: Vec<&VrrNode> = nodes.iter().collect();
+    sorted.sort_by_key(|p| p.id());
+    for w in sorted.windows(2) {
+        if w[0].closest_right() != Some(w[1].id()) || w[1].closest_left() != Some(w[0].id()) {
+            return false;
+        }
+    }
+    if sorted[0].closest_left().is_some() || sorted[n - 1].closest_right().is_some() {
+        return false;
+    }
+    sorted[0].wrap_pred() == Some(sorted[n - 1].id())
+        && sorted[n - 1].wrap_succ() == Some(sorted[0].id())
+}
+
+/// Builds a VRR node per label.
+pub fn make_vrr_nodes(labels: &Labeling, config: VrrConfig) -> Vec<VrrNode> {
+    labels
+        .ids()
+        .iter()
+        .map(|&id| VrrNode::with_config(id, config))
+        .collect()
+}
+
+/// Runs a VRR bootstrap to global ring consistency.
+pub fn run_vrr_bootstrap(
+    topo: &Graph,
+    labels: &Labeling,
+    mode: VrrMode,
+    link: LinkConfig,
+    seed: u64,
+    max_ticks: u64,
+) -> (VrrBootstrapReport, Simulator<VrrNode>) {
+    assert_eq!(topo.node_count(), labels.len());
+    let config = VrrConfig {
+        mode,
+        ..VrrConfig::default()
+    };
+    let nodes = make_vrr_nodes(labels, config);
+    let mut sim = Simulator::new(topo.clone(), nodes, link, seed);
+    let outcome = sim.run_until_stable(8, max_ticks, |nodes, _| vrr_ring_consistent(nodes));
+    let converged = vrr_ring_consistent(sim.protocols());
+    let messages: Vec<(String, u64)> = sim
+        .metrics()
+        .counters()
+        .filter(|(k, _)| k.starts_with("msg."))
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    let states: Vec<usize> = sim.protocols().iter().map(|p| p.table().len()).collect();
+    let max_state = states.iter().copied().max().unwrap_or(0);
+    let mean_state = if states.is_empty() {
+        0.0
+    } else {
+        states.iter().sum::<usize>() as f64 / states.len() as f64
+    };
+    let report = VrrBootstrapReport {
+        converged,
+        ticks: outcome.time().ticks(),
+        messages,
+        total_messages: sim.metrics().counter("tx.total"),
+        max_state,
+        mean_state,
+    };
+    (report, sim)
+}
+
+/// The ring successor map (for shape classification in experiments).
+pub fn vrr_succ_map(nodes: &[VrrNode]) -> std::collections::BTreeMap<NodeId, NodeId> {
+    nodes
+        .iter()
+        .filter_map(|p| p.ring_succ().map(|s| (p.id(), s)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_graph::generators;
+    use ssr_types::Rng;
+
+    fn topo_and_labels(n: usize, seed: u64) -> (Graph, Labeling) {
+        let mut rng = Rng::new(seed);
+        let (g, _) = generators::unit_disk_connected(n, 1.3, &mut rng);
+        let labels = Labeling::random(n, &mut rng);
+        (g, labels)
+    }
+
+    #[test]
+    fn linearized_vrr_converges_on_a_line() {
+        let topo = generators::line(5);
+        let labels = Labeling::sequential(5, 10);
+        let (report, _) = run_vrr_bootstrap(
+            &topo,
+            &labels,
+            VrrMode::Linearized,
+            LinkConfig::ideal(),
+            1,
+            50_000,
+        );
+        assert!(report.converged, "{report:?}");
+        assert!(!report.messages.iter().any(|(k, _)| k == "msg.flood"));
+    }
+
+    #[test]
+    fn linearized_vrr_converges_on_unit_disk() {
+        // VRR's hop-by-hop state is more fragile than SSR's source routes;
+        // rare seeds freeze in a crossing state (documented in DESIGN.md),
+        // so this asserts a high convergence *rate* rather than perfection.
+        let mut converged = 0;
+        for seed in 0..4 {
+            let (topo, labels) = topo_and_labels(20, seed);
+            let (report, _) = run_vrr_bootstrap(
+                &topo,
+                &labels,
+                VrrMode::Linearized,
+                LinkConfig::ideal(),
+                seed,
+                100_000,
+            );
+            if report.converged {
+                converged += 1;
+            }
+        }
+        assert!(converged >= 3, "only {converged}/4 runs converged");
+    }
+
+    #[test]
+    fn baseline_vrr_beacons_and_converges_sometimes() {
+        // The beacon/representative baseline is the *costly* mechanism the
+        // paper replaces; our reproduction of it converges on most but not
+        // all seeds (see DESIGN.md). The assertions here are the honest
+        // ones: (a) its standing beacon volume dwarfs a single exchange,
+        // and (b) it does converge on at least one of the seeds.
+        let mut converged = 0;
+        for seed in 0..3 {
+            let (topo, labels) = topo_and_labels(14, 50 + seed);
+            let (report, _) = run_vrr_bootstrap(
+                &topo,
+                &labels,
+                VrrMode::Baseline,
+                LinkConfig::ideal(),
+                seed,
+                60_000,
+            );
+            if report.converged {
+                converged += 1;
+            }
+            let hello = report
+                .messages
+                .iter()
+                .find(|(k, _)| k == "msg.hello")
+                .map(|(_, v)| *v)
+                .unwrap_or(0);
+            assert!(hello > 3 * 2 * topo.edge_count() as u64, "hello = {hello}");
+        }
+        assert!(converged >= 1, "baseline never converged");
+    }
+
+    #[test]
+    fn two_node_ring() {
+        let topo = generators::line(2);
+        let labels = Labeling::sequential(2, 7);
+        let (report, sim) = run_vrr_bootstrap(
+            &topo,
+            &labels,
+            VrrMode::Linearized,
+            LinkConfig::ideal(),
+            3,
+            50_000,
+        );
+        assert!(report.converged, "{report:?}");
+        let a = &sim.protocols()[0];
+        let b = &sim.protocols()[1];
+        assert_eq!(a.ring_succ(), Some(b.id()));
+        assert_eq!(b.ring_succ(), Some(a.id()));
+    }
+
+    #[test]
+    fn intermediate_nodes_carry_path_state() {
+        // On a line topology the extremes' wrap edge must traverse the
+        // middle: state at interior nodes strictly exceeds what SSR would
+        // keep there — the E10 contrast.
+        let topo = generators::line(5);
+        let labels = Labeling::sequential(5, 10);
+        let (report, sim) = run_vrr_bootstrap(
+            &topo,
+            &labels,
+            VrrMode::Linearized,
+            LinkConfig::ideal(),
+            1,
+            50_000,
+        );
+        assert!(report.converged);
+        // the middle node carries the wrap path 10↔50 plus its own edges
+        let middle = &sim.protocols()[2];
+        assert!(middle.table().len() >= 3, "middle state {}", middle.table().len());
+    }
+}

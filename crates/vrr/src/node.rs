@@ -1,0 +1,1595 @@
+//! The VRR node: hop-by-hop path state plus the two bootstrap modes.
+//!
+//! **Transport model.** VRR has no source routes, so control traffic moves
+//! two ways only:
+//!
+//! * **along installed paths** ([`VrrMsg::AlongPath`]) — every message to a
+//!   known virtual neighbor follows that edge's path state. In particular,
+//!   *neighbor notifications lay the new virtual edge as they travel*: when
+//!   `v1` introduces `v2 ↔ v3`, it sends each a notification along its own
+//!   path to them, and the two half-walks install the path state of the new
+//!   edge `v2 – … – v1 – … – v3` hop by hop (with `v1`'s entry joining the
+//!   halves). This realizes the paper's remark that for VRR "the
+//!   notification messages set up state along their forwarding path";
+//! * **greedily toward larger/smaller addresses** ([`VrrMsg::Routed`]) —
+//!   only for walks whose destination is *unknown* (ring-closure discovery)
+//!   or not yet connected (baseline claims toward the representative).
+//!   Discovery walks drop breadcrumb state so the closure acknowledgment
+//!   can retrace and solidify the wrap edge.
+//!
+//! **Linearized mode** mirrors the SSR bootstrap exactly: farthest-pair
+//! introductions with a two-ACK handshake and tear-downs, plus CW/CCW
+//! discovery. **Baseline mode** adds VRR's own mechanism: periodic hello
+//! beacons piggy-backing the *representative*, claim walks toward it, and
+//! redirects — the standing dissemination cost that linearization removes.
+
+use std::collections::BTreeMap;
+
+use ssr_sim::{Ctx, Protocol};
+use ssr_types::{cw_dist, ring_between_cw, NodeId, SeqNo};
+
+use crate::table::{PathEntry, PathId, PathTable};
+
+const TOKEN_ACT: u64 = 0;
+const TOKEN_RETRY_LEFT: u64 = 1;
+const TOKEN_RETRY_RIGHT: u64 = 2;
+const TOKEN_DISCOVER: u64 = 3;
+const TOKEN_BEACON: u64 = 4;
+const TOKEN_AUDIT: u64 = 5;
+
+/// Breadcrumb placeholder endpoints (no real node may use them; the id
+/// space is random 64-bit, so the extremes are assumed free — asserted at
+/// node construction).
+const CRUMB_CW: NodeId = NodeId::MAX;
+const CRUMB_CCW: NodeId = NodeId::MIN;
+
+/// Which consistency mechanism the node runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VrrMode {
+    /// Hello beacons carrying the representative (VRR's original scheme).
+    Baseline,
+    /// The paper's linearization — no representative, no periodic beacons.
+    Linearized,
+}
+
+/// Probe travel direction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dir {
+    /// Toward larger addresses.
+    Cw,
+    /// Toward smaller addresses.
+    Ccw,
+}
+
+/// Tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct VrrConfig {
+    /// Bootstrap mode.
+    pub mode: VrrMode,
+    /// Batching window for linearization actions.
+    pub act_interval: u64,
+    /// Handshake retry base interval.
+    pub retry_interval: u64,
+    /// Delay before the first discovery probe.
+    pub discover_delay: u64,
+    /// Discovery retry interval.
+    pub discover_retry: u64,
+    /// Beacon period (baseline mode only).
+    pub beacon_interval: u64,
+    /// Virtual-neighbor audit period: each round a node re-announces itself
+    /// along every virtual edge, so a peer that silently dropped the edge
+    /// (garbage collection, lost half-lay) re-adopts it — edges stay
+    /// *mutual*, which is what keeps linearization progressing. Audits stop
+    /// after `audit_quiet` unchanged rounds and restart on any state change.
+    pub audit_interval: u64,
+    /// Quiet audit rounds before the audit timer stops.
+    pub audit_quiet: u32,
+    /// TTL for greedily routed walks.
+    pub ttl: u16,
+}
+
+impl Default for VrrConfig {
+    fn default() -> Self {
+        VrrConfig {
+            mode: VrrMode::Linearized,
+            act_interval: 2,
+            retry_interval: 24,
+            discover_delay: 8,
+            discover_retry: 48,
+            beacon_interval: 16,
+            audit_interval: 48,
+            audit_quiet: u32::MAX,
+            ttl: 512,
+        }
+    }
+}
+
+/// Payloads of greedy [`VrrMsg::Routed`] walks.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RoutedPayload {
+    /// Ring-closure probe; installs breadcrumb state as it walks, accepted
+    /// where no further progress is possible.
+    Discover {
+        /// Probe origin.
+        origin: NodeId,
+        /// Travel direction.
+        dir: Dir,
+        /// Breadcrumb nonce.
+        nonce: u64,
+    },
+    /// Baseline: claim toward the representative; installs real path state
+    /// (the target is known), so the representative can answer.
+    Claim {
+        /// Claimant (origin of the walk).
+        from: NodeId,
+        /// The representative (walk target).
+        to: NodeId,
+        /// Path nonce.
+        nonce: u64,
+    },
+    /// Application probe for the routing experiments.
+    Probe {
+        /// Final destination.
+        target: NodeId,
+        /// Physical hops so far.
+        hops: u32,
+    },
+}
+
+impl RoutedPayload {
+    fn target(&self) -> NodeId {
+        match *self {
+            RoutedPayload::Discover { dir, .. } => match dir {
+                Dir::Cw => NodeId::MAX,
+                Dir::Ccw => NodeId::MIN,
+            },
+            RoutedPayload::Claim { to, .. } => to,
+            RoutedPayload::Probe { target, .. } => target,
+        }
+    }
+}
+
+/// Payloads that follow path state.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PathPayload {
+    /// Neighbor notification: "adopt `other` as a virtual neighbor". While
+    /// traveling along the carrier path it installs the *half-path* of the
+    /// new edge `new_pid` (oriented so the far side leads back through the
+    /// initiator).
+    Notify {
+        /// The new virtual edge being laid.
+        new_pid: PathId,
+        /// The introduced node (the new edge's far endpoint).
+        other: NodeId,
+        /// The introducing node (handshake bookkeeping).
+        from: NodeId,
+        /// Handshake correlation.
+        seq: SeqNo,
+    },
+    /// Handshake acknowledgment back to the initiator along the carrier
+    /// path.
+    Ack {
+        /// The node the sender was pointed to.
+        about: NodeId,
+        /// Handshake correlation.
+        seq: SeqNo,
+    },
+    /// Removes the path's state at every node it passes.
+    Teardown,
+    /// Retires a virtual edge *without* removing path state: the recipient
+    /// drops the sender from its neighbor sets, but the installed path
+    /// survives as extra router state (VRR garbage-collects lazily; tearing
+    /// state down eagerly would break in-flight half-lays and introductions
+    /// that still ride on it).
+    Retire {
+        /// The node retiring the edge.
+        from: NodeId,
+    },
+    /// Ring-closure acceptance: retraces a discovery's breadcrumbs toward
+    /// the origin, rewriting them into the final wrap edge `final_pid`.
+    CloseRing {
+        /// The accepting extreme.
+        acceptor: NodeId,
+        /// The solidified wrap edge.
+        final_pid: PathId,
+        /// Probe direction answered.
+        dir: Dir,
+    },
+}
+
+/// All VRR messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VrrMsg {
+    /// Link-local beacon: own address plus (baseline) the representative.
+    Hello {
+        /// Sender address.
+        id: NodeId,
+        /// Largest address the sender knows.
+        rep: NodeId,
+    },
+    /// Greedily routed walk.
+    Routed {
+        /// Remaining hop budget.
+        ttl: u16,
+        /// Content.
+        payload: RoutedPayload,
+    },
+    /// Message following installed path state toward one endpoint.
+    AlongPath {
+        /// Carrier path.
+        id: PathId,
+        /// Destination endpoint of the carrier path.
+        toward: NodeId,
+        /// Remaining hop budget (guards against loops from corrupted or
+        /// half-rewritten path state).
+        ttl: u16,
+        /// Content.
+        payload: PathPayload,
+    },
+}
+
+impl VrrMsg {
+    /// Metrics kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            VrrMsg::Hello { .. } => "hello",
+            VrrMsg::Routed { payload, .. } => match payload {
+                RoutedPayload::Discover { .. } => "discover",
+                RoutedPayload::Claim { .. } => "succ",
+                RoutedPayload::Probe { .. } => "data",
+            },
+            VrrMsg::AlongPath { payload, .. } => match payload {
+                PathPayload::Notify { .. } => "notify",
+                PathPayload::Ack { .. } => "ack",
+                PathPayload::Teardown | PathPayload::Retire { .. } => "teardown",
+                PathPayload::CloseRing { .. } => "discover",
+            },
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    keep: NodeId,
+    drop: NodeId,
+    seq: SeqNo,
+    keep_acked: bool,
+    drop_acked: bool,
+    retries: u8,
+}
+
+impl Pending {
+    fn done(&self) -> bool {
+        self.keep_acked && self.drop_acked
+    }
+}
+
+/// Per-node VRR state.
+#[derive(Clone, Debug)]
+pub struct VrrNode {
+    id: NodeId,
+    config: VrrConfig,
+    nbr_index: BTreeMap<NodeId, usize>,
+    nbr_id: BTreeMap<usize, NodeId>,
+    table: PathTable,
+    /// Virtual neighbors (including wrap endpoints): address → edge path.
+    vnbrs: BTreeMap<NodeId, PathId>,
+    wrap_pred: Option<NodeId>,
+    wrap_succ: Option<NodeId>,
+    /// Path state of the ring-closure edges (kept apart from `vnbrs` so a
+    /// peer that is *both* wrap partner and side neighbor — the two-node
+    /// network — stays visible in the side sets).
+    wrap_pred_path: Option<PathId>,
+    wrap_succ_path: Option<PathId>,
+    pending_left: Option<Pending>,
+    pending_right: Option<Pending>,
+    seq: SeqNo,
+    /// Baseline: largest known address.
+    rep: NodeId,
+    /// Baseline: the representative we last claimed toward.
+    claimed: Option<NodeId>,
+    /// Baseline: paths established by claims (claimant → path).
+    claim_paths: BTreeMap<NodeId, PathId>,
+    disc_cw_out: bool,
+    disc_ccw_out: bool,
+    discover_timer_armed: bool,
+    act_scheduled: bool,
+    audit_armed: bool,
+    audit_quiet_rounds: u32,
+    audit_last_sig: u64,
+    delivered_probes: Vec<(NodeId, u32)>,
+}
+
+impl VrrNode {
+    /// A node in linearized mode.
+    pub fn new(id: NodeId) -> Self {
+        Self::with_config(id, VrrConfig::default())
+    }
+
+    /// A node with explicit configuration.
+    pub fn with_config(id: NodeId, config: VrrConfig) -> Self {
+        assert!(
+            id != CRUMB_CW && id != CRUMB_CCW,
+            "the extreme addresses are reserved as breadcrumb placeholders"
+        );
+        VrrNode {
+            id,
+            config,
+            nbr_index: BTreeMap::new(),
+            nbr_id: BTreeMap::new(),
+            table: PathTable::new(),
+            vnbrs: BTreeMap::new(),
+            wrap_pred: None,
+            wrap_succ: None,
+            wrap_pred_path: None,
+            wrap_succ_path: None,
+            pending_left: None,
+            pending_right: None,
+            seq: SeqNo::ZERO,
+            rep: id,
+            claimed: None,
+            claim_paths: BTreeMap::new(),
+            disc_cw_out: false,
+            disc_ccw_out: false,
+            discover_timer_armed: false,
+            act_scheduled: false,
+            audit_armed: false,
+            audit_quiet_rounds: 0,
+            audit_last_sig: 0,
+            delivered_probes: Vec::new(),
+        }
+    }
+
+    /// Signature over the ring-relevant neighbor structure; a change
+    /// restarts audits.
+    fn audit_signature(&self) -> u64 {
+        let sig = self.closest_left().map_or(0, |k| k.raw().rotate_left(11))
+            ^ self.closest_right().map_or(0, |k| k.raw().rotate_left(19));
+        sig ^ self.wrap_pred.map_or(0, |p| p.raw().rotate_left(23))
+            ^ self.wrap_succ.map_or(0, |p| p.raw().rotate_left(37))
+    }
+
+    fn arm_audit(&mut self, ctx: &mut Ctx<'_, VrrMsg>) {
+        if !self.audit_armed {
+            self.audit_armed = true;
+            ctx.set_timer(self.config.audit_interval, TOKEN_AUDIT);
+        }
+    }
+
+    /// Re-announces this node along every virtual edge so peers keep (or
+    /// regain) the mutual view.
+    fn run_audit(&mut self, ctx: &mut Ctx<'_, VrrMsg>) {
+        // only the ring-relevant edges need mutuality (auditing every set
+        // member would perpetually resurrect delegated edges)
+        // wrap partners are deliberately NOT audited (the announce would be
+        // adopted as a side-set member and linearized away); lost wraps
+        // self-repair through the discovery retry
+        let mut edges: Vec<(NodeId, PathId)> = Vec::new();
+        for peer in self.closest_left().into_iter().chain(self.closest_right()) {
+            if let Some(&pid) = self.vnbrs.get(&peer) {
+                edges.push((peer, pid));
+            }
+        }
+        let seq = self.seq.bump();
+        for (peer, pid) in edges {
+            let payload = PathPayload::Notify {
+                new_pid: pid,
+                other: self.id,
+                from: self.id,
+                seq,
+            };
+            self.send_along(ctx, pid, peer, payload, self.config.ttl);
+        }
+    }
+
+    /// This node's address.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The path table (router state). Includes transient discovery
+    /// breadcrumbs; see [`VrrNode::state_size`] for the steady-state count.
+    pub fn table(&self) -> &PathTable {
+        &self.table
+    }
+
+    /// Router-state entries excluding transient discovery breadcrumbs.
+    pub fn state_size(&self) -> usize {
+        self.table
+            .iter()
+            .filter(|(id, _)| id.ea != CRUMB_CCW && id.eb != CRUMB_CW)
+            .count()
+    }
+
+    /// Virtual neighbors smaller than this node. Ring-closure edges live in
+    /// their own slots ([`VrrNode::wrap_pred`]/[`VrrNode::wrap_succ`]), so
+    /// they never pollute the side sets (where linearization would dissolve
+    /// them).
+    pub fn left_set(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.vnbrs.range(..self.id).map(|(&k, _)| k)
+    }
+
+    /// Virtual neighbors larger than this node.
+    pub fn right_set(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.vnbrs
+            .range(self.id..)
+            .map(|(&k, _)| k)
+            .filter(move |&k| k != self.id)
+    }
+
+    /// Closest left virtual neighbor.
+    pub fn closest_left(&self) -> Option<NodeId> {
+        self.left_set().last()
+    }
+
+    /// Closest right virtual neighbor.
+    pub fn closest_right(&self) -> Option<NodeId> {
+        self.right_set().next()
+    }
+
+    /// Sizes of the two sides.
+    pub fn side_sizes(&self) -> (usize, usize) {
+        (self.left_set().count(), self.right_set().count())
+    }
+
+    /// Ring-closure predecessor edge.
+    pub fn wrap_pred(&self) -> Option<NodeId> {
+        self.wrap_pred
+    }
+
+    /// Ring-closure successor edge.
+    pub fn wrap_succ(&self) -> Option<NodeId> {
+        self.wrap_succ
+    }
+
+    /// Ring successor (closest right, else the wrap edge).
+    pub fn ring_succ(&self) -> Option<NodeId> {
+        self.closest_right().or(self.wrap_succ)
+    }
+
+    /// Ring predecessor.
+    pub fn ring_pred(&self) -> Option<NodeId> {
+        self.closest_left().or(self.wrap_pred)
+    }
+
+    /// Locally consistent on the line.
+    pub fn locally_consistent(&self) -> bool {
+        let (l, r) = self.side_sizes();
+        l <= 1 && r <= 1 && self.pending_left.is_none() && self.pending_right.is_none()
+    }
+
+    /// The representative (baseline mode).
+    pub fn rep(&self) -> NodeId {
+        self.rep
+    }
+
+    /// Probes that terminated here.
+    pub fn delivered_probes(&self) -> &[(NodeId, u32)] {
+        &self.delivered_probes
+    }
+
+    // -- transport -------------------------------------------------------------
+
+    /// Best physical next hop toward `target` (clockwise-progress greedy
+    /// over physical neighbors and real path endpoints).
+    fn greedy_next(&self, target: NodeId) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        let mut consider = |cand: NodeId, link: usize| {
+            if cand == self.id
+                || cand == CRUMB_CW
+                || cand == CRUMB_CCW
+                || !ring_between_cw(self.id, cand, target)
+            {
+                return;
+            }
+            let remaining = cw_dist(cand, target);
+            if best.map(|(r, _)| remaining < r).unwrap_or(true) {
+                best = Some((remaining, link));
+            }
+        };
+        for (&id, &idx) in &self.nbr_index {
+            consider(id, idx);
+        }
+        for (ep, link) in self.table.endpoints(self.id) {
+            consider(ep, link);
+        }
+        best.map(|(_, link)| link)
+    }
+
+    /// Sends a payload along installed path state toward `toward`. Returns
+    /// `false` (with a metric) when no state exists.
+    fn send_along(
+        &mut self,
+        ctx: &mut Ctx<'_, VrrMsg>,
+        id: PathId,
+        toward: NodeId,
+        payload: PathPayload,
+        ttl: u16,
+    ) -> bool {
+        let Some(entry) = self.table.get(&id) else {
+            if std::env::var("VRR_DEBUG").is_ok() {
+                eprintln!("[{}] no entry for {:?} toward {} carrying {:?}", self.id, id, toward, payload);
+            }
+            ctx.metrics().incr("fwd.no_path");
+            return false;
+        };
+        let next = if toward == id.ea {
+            entry.toward_a
+        } else {
+            entry.toward_b
+        };
+        let Some(next) = next else {
+            if std::env::var("VRR_DEBUG").is_ok() {
+                eprintln!("[{}] dangling side for {:?} toward {} carrying {:?}", self.id, id, toward, payload);
+            }
+            ctx.metrics().incr("fwd.no_path");
+            return false;
+        };
+        if ttl == 0 {
+            ctx.metrics().incr("fwd.ttl_expired");
+            return false;
+        }
+        if payload == PathPayload::Teardown {
+            self.table.remove(&id);
+        }
+        ctx.send(
+            next,
+            VrrMsg::AlongPath {
+                id,
+                toward,
+                ttl: ttl - 1,
+                payload,
+            },
+        );
+        true
+    }
+
+    // -- virtual-neighbor management --------------------------------------------
+
+    fn adopt_vnbr(&mut self, other: NodeId, path: PathId) {
+        if other != self.id {
+            self.vnbrs.insert(other, path);
+        }
+    }
+
+    /// Removes `other` from the set and *retires* the edge: the peer is told
+    /// to drop us from its sets, but the path state is left in place —
+    /// eager teardown would cut carrier paths out from under in-flight
+    /// half-lays (see `PathPayload::Retire`).
+    fn drop_vnbr(&mut self, ctx: &mut Ctx<'_, VrrMsg>, other: NodeId) {
+        let Some(path) = self.vnbrs.remove(&other) else {
+            return;
+        };
+        self.send_along(
+            ctx,
+            path,
+            other,
+            PathPayload::Retire { from: self.id },
+            self.config.ttl,
+        );
+    }
+
+    // -- linearization -------------------------------------------------------------
+
+    fn schedule_act(&mut self, ctx: &mut Ctx<'_, VrrMsg>) {
+        if !self.act_scheduled {
+            self.act_scheduled = true;
+            ctx.set_timer(self.config.act_interval, TOKEN_ACT);
+        }
+        self.arm_audit(ctx);
+    }
+
+    fn act(&mut self, ctx: &mut Ctx<'_, VrrMsg>) {
+        self.demote_stale_wraps(ctx);
+        self.linearize_side(ctx, Dir::Cw);
+        self.linearize_side(ctx, Dir::Ccw);
+        self.maybe_discover(ctx);
+    }
+
+    fn demote_stale_wraps(&mut self, ctx: &mut Ctx<'_, VrrMsg>) {
+        if self.left_set().next().is_some() {
+            if let Some(p) = self.wrap_pred.take() {
+                let path = self.wrap_pred_path.take();
+                self.retire_wrap(ctx, p, path);
+            }
+        }
+        if self.right_set().next().is_some() {
+            if let Some(su) = self.wrap_succ.take() {
+                let path = self.wrap_succ_path.take();
+                self.retire_wrap(ctx, su, path);
+            }
+        }
+    }
+
+    fn retire_wrap(&mut self, ctx: &mut Ctx<'_, VrrMsg>, other: NodeId, path: Option<PathId>) {
+        if let Some(path) = path {
+            self.send_along(
+                ctx,
+                path,
+                other,
+                PathPayload::Retire { from: self.id },
+                self.config.ttl,
+            );
+        }
+    }
+
+    fn linearize_side(&mut self, ctx: &mut Ctx<'_, VrrMsg>, side: Dir) {
+        let pending = match side {
+            Dir::Cw => &self.pending_right,
+            Dir::Ccw => &self.pending_left,
+        };
+        if pending.is_some() {
+            return;
+        }
+        let (keep, drop) = match side {
+            Dir::Cw => {
+                let rights: Vec<NodeId> = self.right_set().collect();
+                if rights.len() < 2 {
+                    return;
+                }
+                (rights[rights.len() - 2], rights[rights.len() - 1])
+            }
+            Dir::Ccw => {
+                let lefts: Vec<NodeId> = self.left_set().collect();
+                if lefts.len() < 2 {
+                    return;
+                }
+                (lefts[1], lefts[0])
+            }
+        };
+        let seq = self.seq.bump();
+        self.introduce_pair(ctx, keep, drop, seq);
+        let pending = Pending {
+            keep,
+            drop,
+            seq,
+            keep_acked: false,
+            drop_acked: false,
+            retries: 0,
+        };
+        let token = match side {
+            Dir::Cw => {
+                self.pending_right = Some(pending);
+                TOKEN_RETRY_RIGHT
+            }
+            Dir::Ccw => {
+                self.pending_left = Some(pending);
+                TOKEN_RETRY_LEFT
+            }
+        };
+        ctx.set_timer(self.config.retry_interval, token | ((seq.0 as u64) << 8));
+    }
+
+    /// Lays the new virtual edge `x ↔ y` through this node: installs the
+    /// junction entry and sends both half-laying notifications.
+    fn introduce_pair(&mut self, ctx: &mut Ctx<'_, VrrMsg>, x: NodeId, y: NodeId, seq: SeqNo) {
+        let (Some(&px), Some(&py)) = (self.path_to(x), self.path_to(y)) else {
+            ctx.metrics().incr("fwd.no_path");
+            return;
+        };
+        self.introduce_pair_via(ctx, x, px, y, py, seq);
+    }
+
+    /// Like [`Self::introduce_pair`], with explicit carrier paths (used by
+    /// discovery arbitration, where one carrier is a breadcrumb trail).
+    fn introduce_pair_via(
+        &mut self,
+        ctx: &mut Ctx<'_, VrrMsg>,
+        x: NodeId,
+        px: PathId,
+        y: NodeId,
+        py: PathId,
+        seq: SeqNo,
+    ) {
+        if x == y || x == self.id || y == self.id {
+            return;
+        }
+        let nonce = ctx.rng().next_u64();
+        let new_pid = PathId::new(x, y, nonce);
+        // junction entry at this node: toward x via px's first hop, toward
+        // y via py's first hop
+        let hop_x = self.first_hop(px, x);
+        let hop_y = self.first_hop(py, y);
+        let (Some(hop_x), Some(hop_y)) = (hop_x, hop_y) else {
+            ctx.metrics().incr("fwd.no_path");
+            return;
+        };
+        let (toward_a, toward_b) = if x == new_pid.ea {
+            (Some(hop_x), Some(hop_y))
+        } else {
+            (Some(hop_y), Some(hop_x))
+        };
+        self.table.install(
+            new_pid,
+            PathEntry {
+                ea: new_pid.ea,
+                eb: new_pid.eb,
+                toward_a,
+                toward_b,
+            },
+        );
+        self.send_along(
+            ctx,
+            px,
+            x,
+            PathPayload::Notify {
+                new_pid,
+                other: y,
+                from: self.id,
+                seq,
+            },
+            self.config.ttl,
+        );
+        self.send_along(
+            ctx,
+            py,
+            y,
+            PathPayload::Notify {
+                new_pid,
+                other: x,
+                from: self.id,
+                seq,
+            },
+            self.config.ttl,
+        );
+    }
+
+    fn path_to(&self, other: NodeId) -> Option<&PathId> {
+        self.vnbrs
+            .get(&other)
+            .or_else(|| self.claim_paths.get(&other))
+            .or_else(|| {
+                (self.wrap_pred == Some(other))
+                    .then_some(self.wrap_pred_path.as_ref())
+                    .flatten()
+            })
+            .or_else(|| {
+                (self.wrap_succ == Some(other))
+                    .then_some(self.wrap_succ_path.as_ref())
+                    .flatten()
+            })
+    }
+
+    fn first_hop(&self, pid: PathId, toward: NodeId) -> Option<usize> {
+        let entry = self.table.get(&pid)?;
+        if toward == pid.ea {
+            entry.toward_a
+        } else {
+            entry.toward_b
+        }
+    }
+
+    fn retry_pending(&mut self, ctx: &mut Ctx<'_, VrrMsg>, side: Dir, seq: SeqNo) {
+        let slot = match side {
+            Dir::Ccw => &mut self.pending_left,
+            Dir::Cw => &mut self.pending_right,
+        };
+        let Some(p) = slot else { return };
+        if p.seq != seq {
+            return;
+        }
+        if p.done() {
+            *slot = None;
+            self.schedule_act(ctx);
+            return;
+        }
+        if p.retries >= 4 {
+            // the handshake cannot complete: some endpoint is unreachable
+            // over the state we hold for it. Garbage-collect the silent
+            // endpoints — if they are alive they will be re-introduced over
+            // fresh paths.
+            let p = *p;
+            *slot = None;
+            if !p.keep_acked {
+                self.drop_vnbr(ctx, p.keep);
+            }
+            if !p.drop_acked {
+                self.drop_vnbr(ctx, p.drop);
+            }
+            self.schedule_act(ctx);
+            return;
+        }
+        p.retries += 1;
+        let p = *p;
+        let delay = self.config.retry_interval << p.retries;
+        // relaunch the full introduction (fresh edge nonce)
+        self.introduce_pair(ctx, p.keep, p.drop, p.seq);
+        let token = match side {
+            Dir::Ccw => TOKEN_RETRY_LEFT,
+            Dir::Cw => TOKEN_RETRY_RIGHT,
+        };
+        ctx.set_timer(delay, token | ((seq.0 as u64) << 8));
+    }
+
+    fn handle_ack(&mut self, ctx: &mut Ctx<'_, VrrMsg>, about: NodeId, seq: SeqNo) {
+        for side in [Dir::Ccw, Dir::Cw] {
+            let slot = match side {
+                Dir::Ccw => &mut self.pending_left,
+                Dir::Cw => &mut self.pending_right,
+            };
+            if let Some(p) = slot {
+                if p.seq == seq {
+                    if about == p.drop {
+                        p.keep_acked = true;
+                    } else if about == p.keep {
+                        p.drop_acked = true;
+                    }
+                    if p.done() {
+                        let drop = p.drop;
+                        *slot = None;
+                        self.drop_vnbr(ctx, drop);
+                        self.schedule_act(ctx);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    // -- discovery ---------------------------------------------------------------------
+
+    fn maybe_discover(&mut self, ctx: &mut Ctx<'_, VrrMsg>) {
+        if self.nbr_index.is_empty() {
+            return;
+        }
+        let need_cw = self.left_set().next().is_none() && self.wrap_pred.is_none();
+        let need_ccw = self.right_set().next().is_none() && self.wrap_succ.is_none();
+        let now = ctx.now().ticks();
+        if now < self.config.discover_delay {
+            if (need_cw || need_ccw) && !self.discover_timer_armed {
+                self.discover_timer_armed = true;
+                ctx.set_timer(self.config.discover_delay - now, TOKEN_DISCOVER);
+            }
+            return;
+        }
+        if need_cw && !self.disc_cw_out {
+            self.disc_cw_out = true;
+            self.start_discover(ctx, Dir::Cw);
+        }
+        if need_ccw && !self.disc_ccw_out {
+            self.disc_ccw_out = true;
+            self.start_discover(ctx, Dir::Ccw);
+        }
+        if (need_cw || need_ccw) && !self.discover_timer_armed {
+            self.discover_timer_armed = true;
+            ctx.set_timer(self.config.discover_retry, TOKEN_DISCOVER);
+        }
+    }
+
+    /// Breadcrumb path id for a discovery walk.
+    fn crumb_pid(origin: NodeId, dir: Dir, nonce: u64) -> PathId {
+        match dir {
+            Dir::Cw => PathId::new(origin, CRUMB_CW, nonce),
+            Dir::Ccw => PathId::new(CRUMB_CCW, origin, nonce),
+        }
+    }
+
+    fn start_discover(&mut self, ctx: &mut Ctx<'_, VrrMsg>, dir: Dir) {
+        let nonce = ctx.rng().next_u64();
+        let payload = RoutedPayload::Discover {
+            origin: self.id,
+            dir,
+            nonce,
+        };
+        let target = payload.target();
+        let Some(next) = self.greedy_next(target) else {
+            return; // we are the believed extreme ourselves: nothing to do
+        };
+        let pid = Self::crumb_pid(self.id, dir, nonce);
+        self.install_walk_hop(pid, self.id, None, Some(next));
+        ctx.send(
+            next,
+            VrrMsg::Routed {
+                ttl: self.config.ttl,
+                payload,
+            },
+        );
+    }
+
+    /// Installs one hop of a walk that lays state: `from` leads back toward
+    /// `origin`, `to` onward.
+    fn install_walk_hop(
+        &mut self,
+        id: PathId,
+        origin: NodeId,
+        from: Option<usize>,
+        to: Option<usize>,
+    ) {
+        let (toward_a, toward_b) = if origin == id.ea { (from, to) } else { (to, from) };
+        self.table.install(
+            id,
+            PathEntry {
+                ea: id.ea,
+                eb: id.eb,
+                toward_a,
+                toward_b,
+            },
+        );
+    }
+
+    /// A discovery probe stalled here — this node is a believed extreme.
+    fn accept_discovery(
+        &mut self,
+        ctx: &mut Ctx<'_, VrrMsg>,
+        origin: NodeId,
+        dir: Dir,
+        nonce: u64,
+        came_from: usize,
+    ) {
+        if origin == self.id {
+            return;
+        }
+        let crumb = Self::crumb_pid(origin, dir, nonce);
+        self.table.purge_like(crumb);
+        self.install_walk_hop(crumb, origin, Some(came_from), None);
+        let slot = match dir {
+            Dir::Cw => &mut self.wrap_succ,
+            Dir::Ccw => &mut self.wrap_pred,
+        };
+        let replace = match *slot {
+            None => true,
+            Some(cur) if cur == origin => true, // duplicate probe: re-answer
+            Some(cur) => match dir {
+                Dir::Cw => origin < cur,
+                Dir::Ccw => origin > cur,
+            },
+        };
+        if !replace {
+            // arbitrate: introduce the lesser claimant to the better one —
+            // the breadcrumb trail is the carrier back to the origin, and
+            // our vnbr path carries the other half. This is what fills a
+            // mid-chain node's empty side (it probed believing itself an
+            // extreme; the introduction hands it its true neighbor side).
+            let cur = slot.unwrap();
+            if let Some(&pcur) = self.path_to(cur) {
+                let seq = self.seq.bump();
+                self.introduce_pair_via(ctx, origin, crumb, cur, pcur, seq);
+            }
+            return;
+        }
+        let old = match *slot {
+            Some(cur) if cur != origin => Some(cur),
+            _ => None,
+        };
+        *slot = Some(origin);
+        let final_pid = PathId::new(self.id, origin, nonce);
+        // solidify our end: the crumb entry's origin-side hop becomes the
+        // wrap edge's
+        self.install_walk_hop(final_pid, origin, Some(came_from), None);
+        let old_path = match dir {
+            Dir::Cw => self.wrap_succ_path.replace(final_pid),
+            Dir::Ccw => self.wrap_pred_path.replace(final_pid),
+        };
+        if let (Some(old), Some(old_path)) = (old, old_path) {
+            self.retire_wrap(ctx, old, Some(old_path));
+        }
+        // retrace the breadcrumbs, rewriting them into the final edge
+        self.send_along(
+            ctx,
+            crumb,
+            origin,
+            PathPayload::CloseRing {
+                acceptor: self.id,
+                final_pid,
+                dir,
+            },
+            self.config.ttl,
+        );
+        self.table.remove(&crumb);
+        self.schedule_act(ctx);
+    }
+
+    /// A closure retrace arrived (either mid-path or at the origin).
+    #[allow(clippy::too_many_arguments)]
+    fn handle_close_ring(
+        &mut self,
+        ctx: &mut Ctx<'_, VrrMsg>,
+        crumb: PathId,
+        toward: NodeId,
+        acceptor: NodeId,
+        final_pid: PathId,
+        dir: Dir,
+        came_from: usize,
+        ttl: u16,
+    ) {
+        if toward != self.id {
+            // rewrite this hop's breadcrumb into the final edge, then keep
+            // forwarding under the *crumb* id — downstream nodes have not
+            // been rewritten yet
+            let next = match self.table.remove(&crumb) {
+                Some(entry) => {
+                    let toward_origin = entry_hop_toward(&entry, crumb, toward);
+                    self.table.install(
+                        final_pid,
+                        PathEntry {
+                            ea: final_pid.ea,
+                            eb: final_pid.eb,
+                            // same physical hops, new identity; orient by
+                            // which endpoint the origin (`toward`) is
+                            toward_a: if final_pid.ea == toward {
+                                toward_origin
+                            } else {
+                                Some(came_from)
+                            },
+                            toward_b: if final_pid.ea == toward {
+                                Some(came_from)
+                            } else {
+                                toward_origin
+                            },
+                        },
+                    );
+                    toward_origin
+                }
+                None => None,
+            };
+            let Some(next) = next else {
+                ctx.metrics().incr("fwd.no_path");
+                return;
+            };
+            ctx.send(
+                next,
+                VrrMsg::AlongPath {
+                    id: crumb,
+                    toward,
+                    ttl: ttl.saturating_sub(1),
+                    payload: PathPayload::CloseRing {
+                        acceptor,
+                        final_pid,
+                        dir,
+                    },
+                },
+            );
+            return;
+        }
+        // we are the probe origin
+        self.table.remove(&crumb);
+        self.install_walk_hop(final_pid, self.id, None, Some(came_from));
+        let slot = match dir {
+            Dir::Cw => &mut self.wrap_pred,
+            Dir::Ccw => &mut self.wrap_succ,
+        };
+        match dir {
+            Dir::Cw => self.disc_cw_out = false,
+            Dir::Ccw => self.disc_ccw_out = false,
+        }
+        let replace = match *slot {
+            None => true,
+            Some(cur) if cur == acceptor => true,
+            Some(cur) => match dir {
+                Dir::Cw => acceptor > cur,
+                Dir::Ccw => acceptor < cur,
+            },
+        };
+        if replace {
+            let old = match *slot {
+                Some(cur) if cur != acceptor => Some(cur),
+                _ => None,
+            };
+            *slot = Some(acceptor);
+            let old_path = match dir {
+                Dir::Cw => self.wrap_pred_path.replace(final_pid),
+                Dir::Ccw => self.wrap_succ_path.replace(final_pid),
+            };
+            if let (Some(old), Some(old_path)) = (old, old_path) {
+                self.retire_wrap(ctx, old, Some(old_path));
+            }
+        } else if let Some(cur) = *slot {
+            // keep the better closure and introduce the redundant acceptor
+            // to it (final_pid is a working carrier to the acceptor)
+            if cur != acceptor {
+                if let Some(&pcur) = self.path_to(cur) {
+                    let seq = self.seq.bump();
+                    self.introduce_pair_via(ctx, acceptor, final_pid, cur, pcur, seq);
+                }
+            }
+        }
+        self.schedule_act(ctx);
+    }
+
+    // -- baseline mode ---------------------------------------------------------------
+
+    fn baseline_learn_rep(&mut self, ctx: &mut Ctx<'_, VrrMsg>, rep: NodeId) {
+        if rep > self.rep {
+            self.rep = rep;
+            if self.claimed != Some(rep) && rep != self.id {
+                self.claimed = Some(rep);
+                let nonce = ctx.rng().next_u64();
+                let payload = RoutedPayload::Claim {
+                    from: self.id,
+                    to: rep,
+                    nonce,
+                };
+                let Some(next) = self.greedy_next(rep) else {
+                    return;
+                };
+                let pid = PathId::new(self.id, rep, nonce);
+                self.install_walk_hop(pid, self.id, None, Some(next));
+                ctx.send(
+                    next,
+                    VrrMsg::Routed {
+                        ttl: self.config.ttl,
+                        payload,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Baseline claim arrived (the claim's walk installed a path from the
+    /// claimant to us). Adopt the claimant if it is our best ring
+    /// predecessor candidate; otherwise introduce it to the best node we
+    /// know between it and us.
+    fn handle_claim_arrival(
+        &mut self,
+        ctx: &mut Ctx<'_, VrrMsg>,
+        claimant: NodeId,
+        nonce: u64,
+        came_from: usize,
+    ) {
+        if claimant == self.id {
+            return;
+        }
+        let pid = PathId::new(claimant, self.id, nonce);
+        self.install_walk_hop(pid, claimant, Some(came_from), None);
+        self.claim_paths.insert(claimant, pid);
+        let best_between = self
+            .vnbrs
+            .keys()
+            .copied()
+            .chain(self.claim_paths.keys().copied())
+            .filter(|&d| d != claimant && d != self.id)
+            .filter(|&d| ring_between_cw(claimant, d, self.id))
+            .min_by_key(|&d| cw_dist(claimant, d));
+        match best_between {
+            Some(better) => {
+                let seq = self.seq.bump();
+                self.introduce_pair(ctx, claimant, better, seq);
+            }
+            None => {
+                // direct ring-predecessor candidate: adopt mutually by
+                // laying a notify back along the claim path
+                self.adopt_vnbr(claimant, pid);
+                let seq = self.seq.bump();
+                let ack_pid = PathId::new(claimant, self.id, nonce.wrapping_add(1));
+                let _ = ack_pid;
+                let payload = PathPayload::Notify {
+                    new_pid: pid,
+                    other: self.id,
+                    from: self.id,
+                    seq,
+                };
+                self.send_along(ctx, pid, claimant, payload, self.config.ttl);
+            }
+        }
+        self.schedule_act(ctx);
+    }
+
+    // -- hello --------------------------------------------------------------------
+
+    fn handle_hello(&mut self, ctx: &mut Ctx<'_, VrrMsg>, from_idx: usize, id: NodeId, rep: NodeId) {
+        let known = self.nbr_id.get(&from_idx) == Some(&id);
+        self.nbr_index.insert(id, from_idx);
+        self.nbr_id.insert(from_idx, id);
+        if !known {
+            // E_v := E_p — a physical link is a trivially installed path
+            let pid = PathId::new(self.id, id, 0);
+            self.install_walk_hop(pid, self.id, None, Some(from_idx));
+            self.adopt_vnbr(id, pid);
+            ctx.send(
+                from_idx,
+                VrrMsg::Hello {
+                    id: self.id,
+                    rep: self.rep,
+                },
+            );
+            self.schedule_act(ctx);
+        }
+        if self.config.mode == VrrMode::Baseline {
+            self.baseline_learn_rep(ctx, rep);
+            self.baseline_learn_rep(ctx, id);
+        }
+    }
+}
+
+/// The hop of `entry` leading toward the endpoint of `id` that equals
+/// `toward` — helper for breadcrumb rewriting.
+fn entry_hop_toward(entry: &PathEntry, id: PathId, toward: NodeId) -> Option<usize> {
+    if toward == id.ea {
+        entry.toward_a
+    } else {
+        entry.toward_b
+    }
+}
+
+impl Protocol for VrrNode {
+    type Msg = VrrMsg;
+
+    fn on_init(&mut self, ctx: &mut Ctx<'_, VrrMsg>) {
+        ctx.broadcast(VrrMsg::Hello {
+            id: self.id,
+            rep: self.rep,
+        });
+        ctx.set_timer(self.config.act_interval, TOKEN_ACT);
+        if self.config.mode == VrrMode::Baseline {
+            ctx.set_timer(self.config.beacon_interval, TOKEN_BEACON);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, VrrMsg>, from: usize, msg: VrrMsg) {
+        match msg {
+            VrrMsg::Hello { id, rep } => self.handle_hello(ctx, from, id, rep),
+            VrrMsg::Routed { ttl, payload } => match payload {
+                RoutedPayload::Discover { origin, dir, nonce } => {
+                    let target = payload.target();
+                    match self.greedy_next(target) {
+                        Some(next) if ttl > 0 => {
+                            let pid = Self::crumb_pid(origin, dir, nonce);
+                            // only the freshest probe's crumbs are kept:
+                            // stale trails from abandoned walks would leak
+                            self.table.purge_like(pid);
+                            self.install_walk_hop(pid, origin, Some(from), Some(next));
+                            ctx.send(
+                                next,
+                                VrrMsg::Routed {
+                                    ttl: ttl - 1,
+                                    payload,
+                                },
+                            );
+                        }
+                        _ => self.accept_discovery(ctx, origin, dir, nonce, from),
+                    }
+                }
+                RoutedPayload::Claim { from: claimant, to, nonce } => {
+                    if to == self.id {
+                        self.handle_claim_arrival(ctx, claimant, nonce, from);
+                        return;
+                    }
+                    match self.greedy_next(to) {
+                        Some(next) if ttl > 0 => {
+                            let pid = PathId::new(claimant, to, nonce);
+                            self.install_walk_hop(pid, claimant, Some(from), Some(next));
+                            ctx.send(
+                                next,
+                                VrrMsg::Routed {
+                                    ttl: ttl - 1,
+                                    payload: RoutedPayload::Claim {
+                                        from: claimant,
+                                        to,
+                                        nonce,
+                                    },
+                                },
+                            );
+                        }
+                        _ => {
+                            // claim stalled: treat this node as the best
+                            // reachable representative-ward point
+                            self.handle_claim_arrival(ctx, claimant, nonce, from);
+                        }
+                    }
+                }
+                RoutedPayload::Probe { target, hops } => {
+                    if target == self.id {
+                        self.delivered_probes.push((target, hops));
+                        ctx.metrics().incr("probe.delivered");
+                        return;
+                    }
+                    match self.greedy_next(target) {
+                        Some(next) if ttl > 0 => ctx.send(
+                            next,
+                            VrrMsg::Routed {
+                                ttl: ttl - 1,
+                                payload: RoutedPayload::Probe {
+                                    target,
+                                    hops: hops + 1,
+                                },
+                            },
+                        ),
+                        _ => ctx.metrics().incr("probe.stuck"),
+                    }
+                }
+            },
+            VrrMsg::AlongPath { id, toward, ttl, payload } => {
+                if ttl == 0 {
+                    ctx.metrics().incr("fwd.ttl_expired");
+                    return;
+                }
+                let at_end = toward == self.id;
+                match payload {
+                    PathPayload::Notify {
+                        new_pid,
+                        other,
+                        from: initiator,
+                        seq,
+                    } => {
+                        // lay the half-path: `from` link leads back toward
+                        // the initiator (and on to `other`)
+                        if at_end {
+                            self.install_walk_hop(new_pid, self.id, None, Some(from));
+                            self.adopt_vnbr(other, new_pid);
+                            let ack = PathPayload::Ack { about: other, seq };
+                            self.send_along(ctx, id, initiator, ack, self.config.ttl);
+                            self.schedule_act(ctx);
+                        } else {
+                            // orientation: this hop leads toward `toward`
+                            // (the target endpoint); the reverse side leads
+                            // toward `other` through the initiator
+                            let entry = self.table.get(&id).copied();
+                            let next = entry.and_then(|e| entry_hop_toward(&e, id, toward));
+                            let Some(next) = next else {
+                                ctx.metrics().incr("fwd.no_path");
+                                return;
+                            };
+                            // pinch merge: if the other half of this new
+                            // edge already laid state here (the two carrier
+                            // paths share this node), keep its *forward*
+                            // hop toward `other` — the merged entry
+                            // shortcuts the detour through the initiator
+                            // and prevents forwarding loops
+                            let their_forward = self
+                                .table
+                                .get(&new_pid)
+                                .and_then(|e| entry_hop_toward(e, new_pid, other));
+                            let back = their_forward.unwrap_or(from);
+                            let (a, b) = if toward == new_pid.ea {
+                                (Some(next), Some(back))
+                            } else {
+                                (Some(back), Some(next))
+                            };
+                            self.table.install(
+                                new_pid,
+                                PathEntry {
+                                    ea: new_pid.ea,
+                                    eb: new_pid.eb,
+                                    toward_a: a,
+                                    toward_b: b,
+                                },
+                            );
+                            ctx.send(
+                                next,
+                                VrrMsg::AlongPath {
+                                    id,
+                                    toward,
+                                    ttl: ttl - 1,
+                                    payload: PathPayload::Notify {
+                                        new_pid,
+                                        other,
+                                        from: initiator,
+                                        seq,
+                                    },
+                                },
+                            );
+                        }
+                    }
+                    PathPayload::Ack { about, seq } => {
+                        if at_end {
+                            self.handle_ack(ctx, about, seq);
+                        } else {
+                            self.send_along(ctx, id, toward, PathPayload::Ack { about, seq }, ttl);
+                        }
+                    }
+                    PathPayload::Retire { from: retiree } => {
+                        if at_end {
+                            self.vnbrs.remove(&retiree);
+                            if self.wrap_pred == Some(retiree) {
+                                self.wrap_pred = None;
+                                self.wrap_pred_path = None;
+                            }
+                            if self.wrap_succ == Some(retiree) {
+                                self.wrap_succ = None;
+                                self.wrap_succ_path = None;
+                            }
+                            self.schedule_act(ctx);
+                        } else {
+                            self.send_along(
+                                ctx,
+                                id,
+                                toward,
+                                PathPayload::Retire { from: retiree },
+                                ttl,
+                            );
+                        }
+                    }
+                    PathPayload::Teardown => {
+                        if at_end {
+                            self.table.remove(&id);
+                            let other = if id.ea == self.id { id.eb } else { id.ea };
+                            if self.vnbrs.get(&other) == Some(&id) {
+                                self.vnbrs.remove(&other);
+                            }
+                            if self.wrap_pred_path == Some(id) {
+                                self.wrap_pred = None;
+                                self.wrap_pred_path = None;
+                            }
+                            if self.wrap_succ_path == Some(id) {
+                                self.wrap_succ = None;
+                                self.wrap_succ_path = None;
+                            }
+                            self.claim_paths.retain(|_, &mut p| p != id);
+                            self.schedule_act(ctx);
+                        } else {
+                            self.send_along(ctx, id, toward, PathPayload::Teardown, ttl);
+                        }
+                    }
+                    PathPayload::CloseRing {
+                        acceptor,
+                        final_pid,
+                        dir,
+                    } => {
+                        self.handle_close_ring(ctx, id, toward, acceptor, final_pid, dir, from, ttl);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, VrrMsg>, token: u64) {
+        let seq = SeqNo((token >> 8) as u32);
+        match token & 0xFF {
+            TOKEN_ACT => {
+                self.act_scheduled = false;
+                self.act(ctx);
+            }
+            TOKEN_RETRY_LEFT => self.retry_pending(ctx, Dir::Ccw, seq),
+            TOKEN_RETRY_RIGHT => self.retry_pending(ctx, Dir::Cw, seq),
+            TOKEN_DISCOVER => {
+                self.discover_timer_armed = false;
+                self.disc_cw_out = false;
+                self.disc_ccw_out = false;
+                self.maybe_discover(ctx);
+            }
+            TOKEN_AUDIT => {
+                self.audit_armed = false;
+                let sig = self.audit_signature();
+                if sig != self.audit_last_sig {
+                    self.audit_last_sig = sig;
+                    self.audit_quiet_rounds = 0;
+                } else {
+                    self.audit_quiet_rounds += 1;
+                }
+                if self.audit_quiet_rounds < self.config.audit_quiet {
+                    self.run_audit(ctx);
+                    self.arm_audit(ctx);
+                }
+            }
+            TOKEN_BEACON
+                if self.config.mode == VrrMode::Baseline => {
+                    ctx.broadcast(VrrMsg::Hello {
+                        id: self.id,
+                        rep: self.rep,
+                    });
+                    ctx.set_timer(self.config.beacon_interval, TOKEN_BEACON);
+                }
+            _ => {}
+        }
+    }
+
+    fn on_neighbor_down(&mut self, ctx: &mut Ctx<'_, VrrMsg>, neighbor: usize) {
+        let Some(id) = self.nbr_id.remove(&neighbor) else {
+            return;
+        };
+        self.nbr_index.remove(&id);
+        let dead = self.table.purge_via(neighbor);
+        for pid in dead {
+            let other = if pid.ea == self.id { pid.eb } else { pid.ea };
+            if self.vnbrs.get(&other) == Some(&pid) {
+                self.vnbrs.remove(&other);
+            }
+            if self.wrap_pred_path == Some(pid) {
+                self.wrap_pred = None;
+                self.wrap_pred_path = None;
+            }
+            if self.wrap_succ_path == Some(pid) {
+                self.wrap_succ = None;
+                self.wrap_succ_path = None;
+            }
+            self.claim_paths.retain(|_, &mut p| p != pid);
+        }
+        self.schedule_act(ctx);
+    }
+
+    fn on_neighbor_up(&mut self, ctx: &mut Ctx<'_, VrrMsg>, neighbor: usize) {
+        ctx.send(
+            neighbor,
+            VrrMsg::Hello {
+                id: self.id,
+                rep: self.rep,
+            },
+        );
+    }
+
+    fn reset(&mut self) {
+        *self = VrrNode::with_config(self.id, self.config);
+    }
+
+    fn kind(msg: &VrrMsg) -> &'static str {
+        msg.kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_node_state() {
+        let n = VrrNode::new(NodeId(5));
+        assert_eq!(n.id(), NodeId(5));
+        assert_eq!(n.side_sizes(), (0, 0));
+        assert!(n.locally_consistent());
+        assert!(n.table().is_empty());
+        assert_eq!(n.state_size(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn extreme_addresses_rejected() {
+        VrrNode::new(NodeId::MAX);
+    }
+
+    #[test]
+    fn payload_targets() {
+        assert_eq!(
+            RoutedPayload::Discover { origin: NodeId(4), dir: Dir::Cw, nonce: 0 }.target(),
+            NodeId::MAX
+        );
+        assert_eq!(
+            RoutedPayload::Discover { origin: NodeId(4), dir: Dir::Ccw, nonce: 0 }.target(),
+            NodeId::MIN
+        );
+        assert_eq!(
+            RoutedPayload::Claim { from: NodeId(1), to: NodeId(9), nonce: 0 }.target(),
+            NodeId(9)
+        );
+        assert_eq!(
+            RoutedPayload::Probe { target: NodeId(7), hops: 0 }.target(),
+            NodeId(7)
+        );
+    }
+
+    #[test]
+    fn message_kinds() {
+        assert_eq!(VrrMsg::Hello { id: NodeId(0), rep: NodeId(0) }.kind(), "hello");
+        let pid = PathId::new(NodeId(1), NodeId(2), 0);
+        assert_eq!(
+            VrrMsg::AlongPath { id: pid, toward: NodeId(1), ttl: 8, payload: PathPayload::Teardown }.kind(),
+            "teardown"
+        );
+        assert_eq!(
+            VrrMsg::Routed {
+                ttl: 1,
+                payload: RoutedPayload::Claim { from: NodeId(1), to: NodeId(2), nonce: 0 }
+            }
+            .kind(),
+            "succ"
+        );
+    }
+
+    #[test]
+    fn crumb_pids_use_placeholders() {
+        let cw = VrrNode::crumb_pid(NodeId(9), Dir::Cw, 7);
+        assert_eq!(cw.eb, NodeId::MAX);
+        let ccw = VrrNode::crumb_pid(NodeId(9), Dir::Ccw, 7);
+        assert_eq!(ccw.ea, NodeId::MIN);
+    }
+
+    #[test]
+    fn reset_keeps_identity() {
+        let mut n = VrrNode::new(NodeId(5));
+        n.wrap_succ = Some(NodeId(1));
+        n.reset();
+        assert_eq!(n.id(), NodeId(5));
+        assert!(n.wrap_succ().is_none());
+    }
+
+    #[test]
+    fn state_size_excludes_breadcrumbs() {
+        let mut n = VrrNode::new(NodeId(5));
+        let crumb = VrrNode::crumb_pid(NodeId(5), Dir::Cw, 1);
+        n.install_walk_hop(crumb, NodeId(5), None, Some(0));
+        assert_eq!(n.table().len(), 1);
+        assert_eq!(n.state_size(), 0);
+        let real = PathId::new(NodeId(5), NodeId(9), 1);
+        n.install_walk_hop(real, NodeId(5), None, Some(0));
+        assert_eq!(n.state_size(), 1);
+    }
+}

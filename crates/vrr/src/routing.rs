@@ -1,0 +1,186 @@
+//! Per-hop greedy routing over VRR path state.
+//!
+//! VRR forwards a packet one *physical* hop at a time: the current node
+//! looks at every endpoint reachable through its path table (plus its
+//! physical neighbors), picks the one virtually closest to the destination
+//! (with the clockwise-progress constraint), and hands the packet to the
+//! physical next hop toward that endpoint — where the decision is made
+//! afresh. This module walks that process over a snapshot of all node
+//! states, mirroring `ssr_core::routing` for experiment E10.
+
+use std::collections::HashMap;
+
+use ssr_types::{cw_dist, ring_between_cw, NodeId};
+
+use crate::node::VrrNode;
+
+/// Outcome of routing one packet (physical hops only — VRR has no
+/// virtual-hop notion at forwarding time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VrrRouteOutcome {
+    /// Arrived after this many physical hops.
+    Delivered {
+        /// Physical link traversals.
+        physical_hops: u32,
+    },
+    /// A node had no candidate making clockwise progress.
+    Stuck {
+        /// Where the packet stalled.
+        at: NodeId,
+    },
+    /// Hop budget exhausted.
+    Exhausted,
+}
+
+impl VrrRouteOutcome {
+    /// `true` iff the packet arrived.
+    pub fn delivered(&self) -> bool {
+        matches!(self, VrrRouteOutcome::Delivered { .. })
+    }
+}
+
+/// Immutable routing view over all VRR nodes.
+pub struct VrrRoutingView<'a> {
+    by_id: HashMap<NodeId, &'a VrrNode>,
+    /// simulator index → node id (path tables store physical link indices).
+    id_of_index: Vec<NodeId>,
+}
+
+impl<'a> VrrRoutingView<'a> {
+    /// Builds the view; `nodes[i]` must be the protocol at simulator index
+    /// `i`.
+    pub fn new(nodes: &'a [VrrNode]) -> Self {
+        VrrRoutingView {
+            by_id: nodes.iter().map(|n| (n.id(), n)).collect(),
+            id_of_index: nodes.iter().map(|n| n.id()).collect(),
+        }
+    }
+
+    /// One forwarding decision at `node`: the physical next hop index.
+    fn next_hop(&self, node: &VrrNode, dst: NodeId) -> Option<usize> {
+        let me = node.id();
+        let mut best: Option<(u64, usize)> = None;
+        let mut consider = |cand: NodeId, link: usize| {
+            if cand == me || !ring_between_cw(me, cand, dst) {
+                return;
+            }
+            let remaining = cw_dist(cand, dst);
+            if best.map(|(r, _)| remaining < r).unwrap_or(true) {
+                best = Some((remaining, link));
+            }
+        };
+        for (ep, link) in node.table().endpoints(me) {
+            consider(ep, link);
+        }
+        best.map(|(_, link)| link)
+    }
+
+    /// Routes a packet from `src` to `dst`, at most `max_hops` physical
+    /// hops.
+    pub fn route(&self, src: NodeId, dst: NodeId, max_hops: u32) -> VrrRouteOutcome {
+        if src == dst {
+            return VrrRouteOutcome::Delivered { physical_hops: 0 };
+        }
+        let Some(mut cur) = self.by_id.get(&src).copied() else {
+            return VrrRouteOutcome::Stuck { at: src };
+        };
+        let mut hops = 0u32;
+        while hops < max_hops {
+            let Some(link) = self.next_hop(cur, dst) else {
+                return VrrRouteOutcome::Stuck { at: cur.id() };
+            };
+            let Some(&next_id) = self.id_of_index.get(link) else {
+                return VrrRouteOutcome::Stuck { at: cur.id() };
+            };
+            hops += 1;
+            if next_id == dst {
+                return VrrRouteOutcome::Delivered {
+                    physical_hops: hops,
+                };
+            }
+            let Some(next) = self.by_id.get(&next_id).copied() else {
+                return VrrRouteOutcome::Stuck { at: next_id };
+            };
+            cur = next;
+        }
+        VrrRouteOutcome::Exhausted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bootstrap::{run_vrr_bootstrap, vrr_ring_consistent};
+    use crate::node::VrrMode;
+    use ssr_graph::{generators, Labeling};
+    use ssr_sim::LinkConfig;
+
+    /// Bootstraps a small line network and routes over the converged state.
+    fn converged_line(n: usize) -> (Vec<VrrNode>, Labeling) {
+        let topo = generators::line(n);
+        let labels = Labeling::sequential(n, 10);
+        let (report, sim) = run_vrr_bootstrap(
+            &topo,
+            &labels,
+            VrrMode::Linearized,
+            LinkConfig::ideal(),
+            1,
+            100_000,
+        );
+        assert!(report.converged, "{report:?}");
+        (sim.protocols().to_vec(), labels)
+    }
+
+    #[test]
+    fn routes_all_pairs_on_a_converged_line() {
+        let (nodes, labels) = converged_line(6);
+        assert!(vrr_ring_consistent(&nodes));
+        let view = VrrRoutingView::new(&nodes);
+        for a in 0..6 {
+            for b in 0..6 {
+                let out = view.route(labels.id(a), labels.id(b), 64);
+                assert!(out.delivered(), "{a}->{b}: {out:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn self_route_is_free() {
+        let (nodes, labels) = converged_line(4);
+        let view = VrrRoutingView::new(&nodes);
+        assert_eq!(
+            view.route(labels.id(2), labels.id(2), 8),
+            VrrRouteOutcome::Delivered { physical_hops: 0 }
+        );
+    }
+
+    #[test]
+    fn hop_budget_is_respected() {
+        let (nodes, labels) = converged_line(6);
+        let view = VrrRoutingView::new(&nodes);
+        // the two line ends are 5 physical hops apart; a budget of 1 cannot
+        // reach (either Exhausted, or Stuck if no candidate)
+        let out = view.route(labels.id(0), labels.id(5), 1);
+        assert!(!out.delivered(), "{out:?}");
+    }
+
+    #[test]
+    fn unknown_source_is_stuck() {
+        let (nodes, _) = converged_line(4);
+        let view = VrrRoutingView::new(&nodes);
+        let ghost = ssr_types::NodeId(999_999);
+        assert_eq!(view.route(ghost, ssr_types::NodeId(10), 8), VrrRouteOutcome::Stuck { at: ghost });
+    }
+
+    #[test]
+    fn physical_hops_are_counted() {
+        let (nodes, labels) = converged_line(5);
+        let view = VrrRoutingView::new(&nodes);
+        match view.route(labels.id(0), labels.id(4), 64) {
+            VrrRouteOutcome::Delivered { physical_hops } => {
+                assert_eq!(physical_hops, 4, "line end-to-end is 4 physical hops");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

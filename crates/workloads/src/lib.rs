@@ -1,0 +1,22 @@
+//! Experiment scaffolding: topology scenarios, statistics, parallel
+//! parameter sweeps, and table/CSV output.
+//!
+//! Every experiment binary in `ssr-bench` is a thin composition of this
+//! crate's pieces: a [`scenario::Topology`] describes the physical network,
+//! [`sweep`] fans seeds/parameters out over worker threads (crossbeam
+//! scoped threads — each point is an independent simulation), [`stats`]
+//! aggregates repetitions into mean ± 95% CI, and [`table`] renders the
+//! paper-style rows (with optional CSV for plotting).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scenario;
+pub mod stats;
+pub mod sweep;
+pub mod table;
+
+pub use scenario::Topology;
+pub use stats::{summarize_counts, Summary};
+pub use sweep::parallel_map;
+pub use table::{write_csv, Table};

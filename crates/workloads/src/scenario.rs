@@ -1,0 +1,200 @@
+//! Topology scenarios: a small declarative layer over `ssr_graph`'s
+//! generators so experiments can sweep families uniformly.
+
+use ssr_graph::{generators, Graph, Labeling};
+use ssr_types::Rng;
+
+/// A physical-topology family with its parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Topology {
+    /// Connected unit-disk graph at `scale ×` the connectivity-threshold
+    /// radius (the MANET/sensor substrate).
+    UnitDisk {
+        /// Number of nodes.
+        n: usize,
+        /// Radius scale factor.
+        scale: f64,
+    },
+    /// Random `d`-regular graph.
+    Regular {
+        /// Number of nodes.
+        n: usize,
+        /// Uniform degree.
+        d: usize,
+    },
+    /// Erdős–Rényi `G(n, p)` with `p = c·ln n / n`, patched to connected.
+    Gnp {
+        /// Number of nodes.
+        n: usize,
+        /// Multiple of the connectivity threshold `ln n / n`.
+        c: f64,
+    },
+    /// Power-law (erased configuration model) with exponent `alpha`,
+    /// minimum degree 2, patched to connected.
+    PowerLaw {
+        /// Number of nodes.
+        n: usize,
+        /// Degree exponent.
+        alpha: f64,
+    },
+    /// Barabási–Albert preferential attachment with `m` links per node.
+    PreferentialAttachment {
+        /// Number of nodes.
+        n: usize,
+        /// Links added per node.
+        m: usize,
+    },
+    /// Watts–Strogatz ring lattice with degree `k` rewired with
+    /// probability `beta`, patched to connected.
+    SmallWorld {
+        /// Number of nodes.
+        n: usize,
+        /// Lattice degree (even).
+        k: usize,
+        /// Rewiring probability.
+        beta: f64,
+    },
+    /// A simple cycle (worst-case diameter).
+    Ring {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// A 2-D grid as close to square as possible.
+    Grid {
+        /// Number of nodes (rounded down to `w·h`).
+        n: usize,
+    },
+}
+
+impl Topology {
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        match *self {
+            Topology::UnitDisk { n, .. }
+            | Topology::Regular { n, .. }
+            | Topology::Gnp { n, .. }
+            | Topology::PowerLaw { n, .. }
+            | Topology::PreferentialAttachment { n, .. }
+            | Topology::SmallWorld { n, .. }
+            | Topology::Ring { n }
+            | Topology::Grid { n } => n,
+        }
+    }
+
+    /// Short name for tables.
+    pub fn family(&self) -> &'static str {
+        match self {
+            Topology::UnitDisk { .. } => "unit-disk",
+            Topology::Regular { .. } => "regular",
+            Topology::Gnp { .. } => "gnp",
+            Topology::PowerLaw { .. } => "power-law",
+            Topology::PreferentialAttachment { .. } => "pref-attach",
+            Topology::SmallWorld { .. } => "small-world",
+            Topology::Ring { .. } => "ring",
+            Topology::Grid { .. } => "grid",
+        }
+    }
+
+    /// Generates a *connected* instance.
+    pub fn generate(&self, rng: &mut Rng) -> Graph {
+        let mut g = match *self {
+            Topology::UnitDisk { n, scale } => generators::unit_disk_connected(n, scale, rng).0,
+            Topology::Regular { n, d } => generators::random_regular(n, d, rng),
+            Topology::Gnp { n, c } => {
+                let p = (c * (n as f64).ln() / n as f64).min(1.0);
+                generators::gnp(n, p, rng)
+            }
+            Topology::PowerLaw { n, alpha } => {
+                generators::powerlaw_configuration(n, alpha, 2, None, rng)
+            }
+            Topology::PreferentialAttachment { n, m } => generators::barabasi_albert(n, m, rng),
+            Topology::SmallWorld { n, k, beta } => generators::watts_strogatz(n, k, beta, rng),
+            Topology::Ring { n } => generators::ring(n),
+            Topology::Grid { n } => {
+                let w = (n as f64).sqrt() as usize;
+                let h = n / w.max(1);
+                generators::grid(w.max(1), h.max(1))
+            }
+        };
+        generators::ensure_connected(&mut g, rng);
+        g
+    }
+
+    /// Generates an instance plus a random address labeling — the standard
+    /// experiment setup.
+    pub fn instance(&self, seed: u64) -> (Graph, Labeling) {
+        let mut rng = Rng::new(seed);
+        let g = self.generate(&mut rng);
+        let labels = Labeling::random(g.node_count(), &mut rng);
+        (g, labels)
+    }
+}
+
+/// Draws `count` source/destination pairs (distinct endpoints) for routing
+/// workloads.
+pub fn traffic_pairs(n: usize, count: usize, rng: &mut Rng) -> Vec<(usize, usize)> {
+    assert!(n >= 2);
+    (0..count)
+        .map(|_| {
+            let a = rng.index(n);
+            let b = loop {
+                let b = rng.index(n);
+                if b != a {
+                    break b;
+                }
+            };
+            (a, b)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_graph::algo;
+
+    #[test]
+    fn all_families_generate_connected_graphs() {
+        let topos = [
+            Topology::UnitDisk { n: 60, scale: 1.2 },
+            Topology::Regular { n: 60, d: 4 },
+            Topology::Gnp { n: 60, c: 1.5 },
+            Topology::PowerLaw { n: 60, alpha: 2.0 },
+            Topology::PreferentialAttachment { n: 60, m: 2 },
+            Topology::SmallWorld { n: 60, k: 4, beta: 0.2 },
+            Topology::Ring { n: 60 },
+            Topology::Grid { n: 60 },
+        ];
+        for t in topos {
+            let (g, labels) = t.instance(7);
+            assert!(algo::is_connected(&g), "{}", t.family());
+            assert_eq!(labels.len(), g.node_count(), "{}", t.family());
+            assert!(!t.family().is_empty());
+        }
+    }
+
+    #[test]
+    fn instance_is_deterministic() {
+        let t = Topology::UnitDisk { n: 40, scale: 1.3 };
+        let (g1, l1) = t.instance(5);
+        let (g2, l2) = t.instance(5);
+        assert_eq!(g1.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+        assert_eq!(l1.ids(), l2.ids());
+    }
+
+    #[test]
+    fn grid_node_count_close() {
+        let t = Topology::Grid { n: 30 };
+        let (g, _) = t.instance(1);
+        assert!(g.node_count() >= 25 && g.node_count() <= 30);
+    }
+
+    #[test]
+    fn traffic_pairs_distinct_endpoints() {
+        let mut rng = Rng::new(3);
+        for (a, b) in traffic_pairs(10, 200, &mut rng) {
+            assert_ne!(a, b);
+            assert!(a < 10 && b < 10);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Summary statistics over repeated simulation runs.
+
+/// Aggregate of a sample set: mean, standard deviation, extremes, and a
+/// normal-approximation 95% confidence interval.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator).
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes a summary; empty input gives all zeros.
+    pub fn of(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary::default();
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in samples {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Summary {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval.
+    pub fn ci95(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.stddev / (self.n as f64).sqrt()
+        }
+    }
+
+    /// `"mean ± ci"` with the given precision.
+    pub fn fmt(&self, decimals: usize) -> String {
+        format!("{:.d$} ± {:.d$}", self.mean, self.ci95(), d = decimals)
+    }
+}
+
+/// Convenience: summary over an iterator of unsigned counts.
+pub fn summarize_counts(counts: impl IntoIterator<Item = u64>) -> Summary {
+    let v: Vec<f64> = counts.into_iter().map(|c| c as f64).collect();
+    Summary::of(&v)
+}
+
+/// Percentile (nearest-rank) of a sample set; `q` in `[0, 100]`.
+pub fn percentile(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((q / 100.0) * samples.len() as f64).ceil() as usize;
+    samples[rank.clamp(1, samples.len()) - 1]
+}
+
+/// Least-squares slope of `y` against `x` — used to report empirical growth
+/// exponents (fit of `log y` vs `log n` distinguishes linear from polylog
+/// convergence in E4/E5).
+pub fn slope(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let n = x.len() as f64;
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let cov: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let var: f64 = x.iter().map(|a| (a - mx) * (a - mx)).sum();
+    if var == 0.0 {
+        0.0
+    } else {
+        cov / var
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_set() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.stddev - 1.2909944487358056).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!(s.ci95() > 0.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = Summary::of(&[]);
+        assert_eq!(e.n, 0);
+        assert_eq!(e.mean, 0.0);
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.ci95(), 0.0);
+    }
+
+    #[test]
+    fn fmt_contains_plus_minus() {
+        let s = Summary::of(&[1.0, 2.0]);
+        assert!(s.fmt(1).contains('±'));
+    }
+
+    #[test]
+    fn counts_helper() {
+        let s = summarize_counts([2u64, 4, 6]);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut v = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&mut v, 50.0), 3.0);
+        assert_eq!(percentile(&mut v, 100.0), 5.0);
+        assert_eq!(percentile(&mut v, 1.0), 1.0);
+        assert_eq!(percentile(&mut [][..].to_vec(), 50.0), 0.0);
+    }
+
+    #[test]
+    fn slope_of_line() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [3.0, 5.0, 7.0, 9.0];
+        assert!((slope(&x, &y) - 2.0).abs() < 1e-12);
+        assert_eq!(slope(&[1.0], &[2.0]), 0.0);
+        assert_eq!(slope(&[2.0, 2.0], &[1.0, 5.0]), 0.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Parallel parameter sweeps.
+//!
+//! Every sweep point (a topology size, a seed, a protocol variant) is an
+//! independent simulation, so the experiments parallelize embarrassingly
+//! over crossbeam scoped threads. Results come back in input order, which
+//! keeps the printed tables deterministic regardless of scheduling.
+
+/// Applies `f` to every input on a pool of `workers` threads, returning
+/// outputs in input order. `f` must be `Sync` (it is shared across
+/// workers); inputs are handed out atomically.
+pub fn parallel_map<I, O, F>(inputs: Vec<I>, workers: usize, f: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        return inputs.iter().map(&f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, O)>();
+    let inputs = &inputs;
+    let f = &f;
+    let next = &next;
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                tx.send((i, f(&inputs[i]))).expect("collector alive");
+            });
+        }
+        drop(tx);
+    })
+    .expect("sweep worker panicked");
+    let mut indexed: Vec<(usize, O)> = rx.into_iter().collect();
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, o)| o).collect()
+}
+
+/// Default worker count: physical parallelism minus one, at least one.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get().saturating_sub(1).max(1))
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let out = parallel_map(inputs.clone(), 8, |&x| x * x);
+        let expected: Vec<u64> = inputs.iter().map(|x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn single_worker_path() {
+        let out = parallel_map(vec![1, 2, 3], 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_inputs() {
+        let out = parallel_map(vec![5], 64, |&x| x * 2);
+        assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    fn heavy_closure_runs_once_per_input() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let out = parallel_map((0..50).collect(), 4, |&x: &usize| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 50);
+        assert_eq!(calls.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn default_workers_positive() {
+        assert!(default_workers() >= 1);
+    }
+}
