@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Offline CI: build, test, lint, format check, then the observability
+# smoke path (fig1_loopy with a JSONL trace sink + obs summarize/diff).
+# Mirrors `just ci`.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --workspace --release
+
+echo "== tests =="
+cargo test --workspace --quiet
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== fmt =="
+cargo fmt --all --check
+
+echo "== obs smoke =="
+./scripts/obs_smoke.sh
+
+echo "CI OK"

@@ -72,9 +72,7 @@ fn bench_cache_insert(c: &mut Criterion) {
 /// construction hot path).
 fn bench_route_concat(c: &mut Criterion) {
     let mut rng = Rng::new(11);
-    let mk = |rng: &mut Rng, len: usize| {
-        SourceRoute::from_hops(rng.distinct_node_ids(len))
-    };
+    let mk = |rng: &mut Rng, len: usize| SourceRoute::from_hops(rng.distinct_node_ids(len));
     let a = mk(&mut rng, 12);
     let b = {
         let mut hops = vec![a.dst()];
@@ -135,8 +133,10 @@ fn bench_bootstrap(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             let (g, labels) = topo.instance(seed);
-            let mut cfg = ssr_core::bootstrap::BootstrapConfig::default();
-            cfg.seed = seed;
+            let cfg = ssr_core::bootstrap::BootstrapConfig {
+                seed,
+                ..Default::default()
+            };
             ssr_core::bootstrap::run_linearized_bootstrap(&g, &labels, &cfg).0
         })
     });

@@ -11,10 +11,10 @@
 //! tick, default 0.02), `--csv PATH`.
 
 use ssr_bench::{fmt_count, Args};
-use ssr_core::bootstrap::{make_ssr_nodes, BootstrapConfig};
+use ssr_core::bootstrap::{make_ssr_nodes, ssr_timeline_probe, BootstrapConfig};
 use ssr_core::consistency;
 use ssr_sim::faults::{poisson_crash_rejoin_trace, poisson_link_flap_trace};
-use ssr_sim::{LinkConfig, Simulator, Time};
+use ssr_sim::{LinkConfig, Metrics, Simulator, Time};
 use ssr_types::Rng;
 use ssr_workloads::{parallel_map, summarize_counts, Table, Topology};
 
@@ -23,9 +23,13 @@ struct Outcome {
     recovery_ticks: u64,
     recovery_msgs: u64,
     floods: u64,
+    // seed-0 observability capture: the full converge → churn → re-converge
+    // timeline plus the final metrics registry
+    observed: Option<(Vec<ssr_core::ConvergencePoint>, Metrics)>,
 }
 
 fn main() {
+    let started = std::time::Instant::now();
     let args = Args::parse();
     let seeds: u64 = args.get("seeds", 5);
     let rate: f64 = args.get("rate", 0.02);
@@ -46,6 +50,7 @@ fn main() {
             "flood msgs",
         ],
     );
+    let mut rep_observed: Option<(usize, Vec<ssr_core::ConvergencePoint>, Metrics)> = None;
 
     for &n in &sizes {
         let topo = Topology::UnitDisk { n, scale: 1.4 };
@@ -55,6 +60,10 @@ fn main() {
             let cfg = BootstrapConfig::default();
             let nodes = make_ssr_nodes(&labels, cfg.ssr);
             let mut sim = Simulator::new(g.clone(), nodes, LinkConfig::ideal(), seed);
+            let timeline = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+            if seed == 0 {
+                sim.add_probe(8, ssr_timeline_probe(std::rc::Rc::clone(&timeline)));
+            }
             // phase 1: converge
             let outcome = sim.run_until_stable(8, 300_000, |nodes, _| {
                 consistency::check_ring(nodes).consistent()
@@ -96,10 +105,19 @@ fn main() {
                 recovery_ticks: outcome.time() - recover_from,
                 recovery_msgs: sim.metrics().counter("tx.total") - msgs_before,
                 floods: sim.metrics().counter("msg.flood"),
+                observed: (seed == 0).then(|| (timeline.borrow().clone(), sim.metrics().clone())),
             }
         });
+        if let Some((tl, m)) = outcomes.iter().find_map(|o| o.observed.clone()) {
+            rep_observed = Some((n, tl, m));
+        }
         let ok = outcomes.iter().filter(|o| o.reconverged).count();
-        let ticks = summarize_counts(outcomes.iter().filter(|o| o.reconverged).map(|o| o.recovery_ticks));
+        let ticks = summarize_counts(
+            outcomes
+                .iter()
+                .filter(|o| o.reconverged)
+                .map(|o| o.recovery_ticks),
+        );
         let msgs = summarize_counts(outcomes.iter().map(|o| o.recovery_msgs));
         let floods: u64 = outcomes.iter().map(|o| o.floods).sum();
         table.row(&[
@@ -118,4 +136,16 @@ fn main() {
         table.to_csv(path).expect("csv");
         println!("(csv written to {path})");
     }
+
+    // Manifest: the seed-0 run at the largest n, whose timeline shows the
+    // full dip — converged ring, churn burst, re-convergence.
+    let mut man = ssr_bench::manifest(&args, "exp_churn");
+    man.seed(0)
+        .config("rate", rate)
+        .config("churn_window", churn_window);
+    if let Some((n, tl, m)) = &rep_observed {
+        man.config("timeline_n", n).record_metrics(m);
+        ssr_bench::record_bootstrap_timeline(&mut man, tl);
+    }
+    ssr_bench::emit_manifest(&mut man, started);
 }

@@ -18,9 +18,12 @@
 
 use ssr_bench::Args;
 use ssr_linearize::{run, Semantics, Variant};
+use ssr_obs::Value;
+use ssr_sim::Metrics;
 use ssr_workloads::{parallel_map, stats, Summary, Table, Topology};
 
 fn main() {
+    let started = std::time::Instant::now();
     let args = Args::parse();
     let seeds: u64 = args.get("seeds", 10);
     let semantics = match args.opt("semantics").unwrap_or("star") {
@@ -51,34 +54,58 @@ fn main() {
     };
 
     let mut table = Table::new(
-        format!("E4: rounds to the sorted line ({} semantics)", semantics.name()),
-        &["family", "variant", "n", "rounds (mean ± ci)", "max", "peak degree"],
+        format!(
+            "E4: rounds to the sorted line ({} semantics)",
+            semantics.name()
+        ),
+        &[
+            "family",
+            "variant",
+            "n",
+            "rounds (mean ± ci)",
+            "max",
+            "peak degree",
+        ],
     );
     // per (family, variant): (log2 n, log2 mean rounds) series for the fit
     let mut fits: std::collections::BTreeMap<(String, String), (Vec<f64>, Vec<f64>)> =
         std::collections::BTreeMap::new();
+    let mut metrics = Metrics::new();
 
     for &n in &sizes {
         for topo in families(n) {
             for &variant in &variants {
                 let inputs: Vec<u64> = (0..seeds).collect();
-                let results = parallel_map(inputs, ssr_workloads::sweep::default_workers(), |&seed| {
-                    let (g, labels) = topo.instance(seed.wrapping_mul(0x9E37) ^ n as u64);
-                    // rank-relabel so index order = identifier order
-                    let (rg, _) = ssr_linearize::convergence::relabel_to_ranks(&g, &labels);
-                    let budget = if matches!(variant, Variant::Pure) {
-                        80 * n
-                    } else {
-                        4000
-                    };
-                    let r = run(&rg, variant, semantics, budget);
-                    (
-                        r.line_at.map(|x| x as f64).unwrap_or(f64::NAN),
-                        r.peak_degree(),
-                    )
-                });
-                let rounds: Vec<f64> = results.iter().map(|&(r, _)| r).filter(|r| r.is_finite()).collect();
+                let results =
+                    parallel_map(inputs, ssr_workloads::sweep::default_workers(), |&seed| {
+                        let (g, labels) = topo.instance(seed.wrapping_mul(0x9E37) ^ n as u64);
+                        // rank-relabel so index order = identifier order
+                        let (rg, _) = ssr_linearize::convergence::relabel_to_ranks(&g, &labels);
+                        let budget = if matches!(variant, Variant::Pure) {
+                            80 * n
+                        } else {
+                            4000
+                        };
+                        let r = run(&rg, variant, semantics, budget);
+                        (
+                            r.line_at.map(|x| x as f64).unwrap_or(f64::NAN),
+                            r.peak_degree(),
+                        )
+                    });
+                let rounds: Vec<f64> = results
+                    .iter()
+                    .map(|&(r, _)| r)
+                    .filter(|r| r.is_finite())
+                    .collect();
                 let peak = results.iter().map(|&(_, p)| p).max().unwrap_or(0);
+                for &(r, p) in &results {
+                    metrics.incr("runs.total");
+                    if r.is_finite() {
+                        metrics.incr("runs.converged");
+                        metrics.observe_hist("rounds.to_line", r as u64);
+                    }
+                    metrics.observe_hist("state.peak_degree", p as u64);
+                }
                 let s = Summary::of(&rounds);
                 table.row(&[
                     topo.family().to_string(),
@@ -100,12 +127,49 @@ fn main() {
 
     table.print();
     println!("\nfitted growth exponents (slope of log2 rounds vs log2 n; 1 ≈ linear):");
+    let mut fit_values: Vec<(String, Value)> = Vec::new();
     for ((family, variant), (xs, ys)) in &fits {
-        println!("  {family:<12} {variant:<7}: {:.2}", stats::slope(xs, ys));
+        let slope = stats::slope(xs, ys);
+        println!("  {family:<12} {variant:<7}: {slope:.2}");
+        fit_values.push((format!("{family}/{variant}"), slope.into()));
     }
     println!("\npaper claim: pure ≈ linear; memory/LSN polylogarithmic (exponent ≪ 1).");
     if let Some(path) = args.csv() {
         table.to_csv(path).expect("csv");
         println!("(csv written to {path})");
     }
+
+    // Manifest: the sweep's merged histograms plus one representative run's
+    // round-by-round convergence timeline (seed 0, smallest scrambled ring,
+    // last variant in the sweep).
+    let mut man = ssr_bench::manifest(&args, "exp_convergence");
+    man.seed(0).config("semantics", semantics.name());
+    let rep_n = sizes[0];
+    let rep_variant = *variants.last().unwrap();
+    let (g, labels) = Topology::Ring { n: rep_n }.instance(rep_n as u64);
+    let (rg, _) = ssr_linearize::convergence::relabel_to_ranks(&g, &labels);
+    let budget = if matches!(rep_variant, Variant::Pure) {
+        80 * rep_n
+    } else {
+        4000
+    };
+    let rep = run(&rg, rep_variant, semantics, budget);
+    for rs in &rep.rounds {
+        let formed = rep.line_at.is_some_and(|at| rs.round >= at);
+        man.timeline_point(ssr_obs::TimelinePoint {
+            tick: rs.round as u64,
+            shape: if formed { "line" } else { "line-forming" }.to_string(),
+            locally_consistent: (rep_n.saturating_sub(rs.missing_chain)) as u64,
+            nodes: rep_n as u64,
+            churn: (rs.added + rs.removed) as u64,
+        });
+    }
+    man.config("timeline_variant", rep_variant.name())
+        .config("timeline_n", rep_n)
+        .record_metrics(&metrics)
+        .extra("fit_exponent", Value::Obj(fit_values));
+    if let Some(at) = rep.line_at {
+        man.extra("timeline_line_at", (at as u64).into());
+    }
+    ssr_bench::emit_manifest(&mut man, started);
 }

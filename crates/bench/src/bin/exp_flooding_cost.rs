@@ -17,6 +17,7 @@
 
 use ssr_bench::{fmt_count, Args};
 use ssr_core::bootstrap::{run_isprp_bootstrap, run_linearized_bootstrap, BootstrapConfig};
+use ssr_obs::Value;
 use ssr_workloads::{parallel_map, summarize_counts, Table, Topology};
 
 struct Row {
@@ -29,6 +30,7 @@ struct Row {
 }
 
 fn main() {
+    let started = std::time::Instant::now();
     let args = Args::parse();
     let seeds: u64 = args.get("seeds", 5);
     let sizes: Vec<usize> = if args.quick() {
@@ -36,8 +38,10 @@ fn main() {
     } else {
         vec![50, 100, 200, 400, 800]
     };
-    let mut cfg = BootstrapConfig::default();
-    cfg.max_ticks = 300_000;
+    let mut cfg = BootstrapConfig {
+        max_ticks: 300_000,
+        ..Default::default()
+    };
     cfg.ssr.ccw_redundancy = !args.flag("no-ccw");
     cfg.ssr.teardown = !args.flag("keep-edges");
 
@@ -54,6 +58,7 @@ fn main() {
             "max state",
         ],
     );
+    let mut sweep_means: Vec<(String, Value)> = Vec::new();
 
     for &n in &sizes {
         let topo = Topology::UnitDisk { n, scale: 1.3 };
@@ -92,6 +97,15 @@ fn main() {
             let flood: u64 = rows.iter().map(|r| r.flood).sum::<u64>() / seeds.max(1);
             let notify: u64 = rows.iter().map(|r| r.notify).sum::<u64>() / seeds.max(1);
             let max_state = rows.iter().map(|r| r.max_state).max().unwrap_or(0);
+            sweep_means.push((
+                format!("{mech}/n={n}"),
+                Value::Obj(vec![
+                    ("msgs_mean".into(), total.mean.into()),
+                    ("ticks_mean".into(), ticks.mean.into()),
+                    ("flood_mean".into(), flood.into()),
+                    ("converged".into(), (conv as u64).into()),
+                ]),
+            ));
             table.row(&[
                 n.to_string(),
                 mech.into(),
@@ -113,4 +127,28 @@ fn main() {
         table.to_csv(path).expect("csv");
         println!("(csv written to {path})");
     }
+
+    // Manifest: one representative linearized run (seed 0, largest n) for
+    // the full metric/timeline dump; the sweep means ride along as extras.
+    let rep_n = *sizes.last().unwrap();
+    let mut man = ssr_bench::manifest(&args, "exp_flooding_cost");
+    man.seed(0)
+        .config("no-ccw", args.flag("no-ccw"))
+        .config("keep-edges", args.flag("keep-edges"))
+        .config("timeline_n", rep_n);
+    let (g, labels) = Topology::UnitDisk {
+        n: rep_n,
+        scale: 1.3,
+    }
+    .instance(rep_n as u64);
+    let mut rep_cfg = cfg;
+    rep_cfg.seed = 0;
+    let (report, sim) = run_linearized_bootstrap(&g, &labels, &rep_cfg);
+    man.record_metrics(sim.metrics());
+    ssr_bench::record_bootstrap_timeline(&mut man, &report.timeline);
+    man.extra("rep_converged", Value::Bool(report.converged));
+    man.extra("rep_ticks", report.ticks.into());
+    man.extra("rep_msgs_total", report.total_messages.into());
+    man.extra("sweep", Value::Obj(sweep_means));
+    ssr_bench::emit_manifest(&mut man, started);
 }

@@ -14,9 +14,11 @@
 
 use ssr_bench::Args;
 use ssr_linearize::{run, Semantics, Variant};
+use ssr_sim::Metrics;
 use ssr_workloads::{parallel_map, stats, Summary, Table, Topology};
 
 fn main() {
+    let started = std::time::Instant::now();
     let args = Args::parse();
     let seeds: u64 = args.get("seeds", 5);
     let alpha: f64 = args.get("alpha", 2.0);
@@ -33,6 +35,7 @@ fn main() {
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     let mut largest_max = 0f64;
+    let mut metrics = Metrics::new();
 
     for &n in &sizes {
         for variant in [Variant::lsn(), Variant::Memory] {
@@ -47,8 +50,20 @@ fn main() {
                     r.peak_degree(),
                 )
             });
-            let rounds: Vec<f64> = results.iter().map(|&(r, _)| r).filter(|r| r.is_finite()).collect();
+            let rounds: Vec<f64> = results
+                .iter()
+                .map(|&(r, _)| r)
+                .filter(|r| r.is_finite())
+                .collect();
             let peak = results.iter().map(|&(_, p)| p).max().unwrap_or(0);
+            for &(r, p) in &results {
+                metrics.incr("runs.total");
+                if r.is_finite() {
+                    metrics.incr("runs.converged");
+                    metrics.observe_hist("rounds.to_line", r as u64);
+                }
+                metrics.observe_hist("state.peak_degree", p as u64);
+            }
             let s = Summary::of(&rounds);
             table.row(&[
                 variant.name().to_string(),
@@ -82,4 +97,29 @@ fn main() {
         table.to_csv(path).expect("csv");
         println!("(csv written to {path})");
     }
+
+    // Manifest: merged round/degree histograms plus one representative LSN
+    // run's round-by-round timeline (seed 0, smallest n).
+    let mut man = ssr_bench::manifest(&args, "exp_powerlaw");
+    let rep_n = sizes[0];
+    man.seed(0)
+        .config("alpha", alpha)
+        .config("timeline_n", rep_n);
+    let (g, labels) = Topology::PowerLaw { n: rep_n, alpha }.instance(rep_n as u64);
+    let (rg, _) = ssr_linearize::convergence::relabel_to_ranks(&g, &labels);
+    let rep = run(&rg, Variant::lsn(), Semantics::Star, 2000);
+    for rs in &rep.rounds {
+        let formed = rep.line_at.is_some_and(|at| rs.round >= at);
+        man.timeline_point(ssr_obs::TimelinePoint {
+            tick: rs.round as u64,
+            shape: if formed { "line" } else { "line-forming" }.to_string(),
+            locally_consistent: (rep_n.saturating_sub(rs.missing_chain)) as u64,
+            nodes: rep_n as u64,
+            churn: (rs.added + rs.removed) as u64,
+        });
+    }
+    man.record_metrics(&metrics)
+        .extra("lsn_growth_exponent", stats::slope(&xs, &ys).into())
+        .extra("largest_max_rounds", largest_max.into());
+    ssr_bench::emit_manifest(&mut man, started);
 }

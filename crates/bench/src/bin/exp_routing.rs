@@ -16,11 +16,12 @@ use ssr_bench::Args;
 use ssr_core::bootstrap::{make_ssr_nodes, run_linearized_bootstrap, BootstrapConfig};
 use ssr_core::routing::{RoutingStats, RoutingView};
 use ssr_graph::algo;
-use ssr_sim::{LinkConfig, Simulator, Time};
+use ssr_sim::{LinkConfig, Metrics, Simulator, Time};
 use ssr_types::Rng;
 use ssr_workloads::{parallel_map, scenario::traffic_pairs, Summary, Table, Topology};
 
 fn main() {
+    let started = std::time::Instant::now();
     let args = Args::parse();
     let seeds: u64 = args.get("seeds", 5);
     let sizes: Vec<usize> = if args.quick() {
@@ -39,15 +40,19 @@ fn main() {
             "stretch (mean)",
         ],
     );
+    let mut merged = Metrics::new();
+    let mut rep_timeline: Option<(usize, Vec<ssr_core::ConvergencePoint>)> = None;
 
     for &n in &sizes {
         let topo = Topology::UnitDisk { n, scale: 1.3 };
         let inputs: Vec<u64> = (0..seeds).collect();
         let results = parallel_map(inputs, ssr_workloads::sweep::default_workers(), |&seed| {
             let (g, labels) = topo.instance(seed.wrapping_mul(7919) ^ n as u64);
-            let mut cfg = BootstrapConfig::default();
-            cfg.seed = seed;
-            cfg.max_ticks = 300_000;
+            let cfg = BootstrapConfig {
+                seed,
+                max_ticks: 300_000,
+                ..Default::default()
+            };
             // mid-convergence snapshot: run the same system for only a few
             // ticks and measure routability
             let mut early_sim = Simulator::new(
@@ -63,18 +68,37 @@ fn main() {
             let pairs = traffic_pairs(n, 10 * n, &mut rng);
             let mut full = RoutingStats::default();
             let mut early = RoutingStats::default();
+            // converged-phase routes feed the route.len / route.stretch_milli
+            // histograms; registries merge across seeds after the sweep
+            let mut metrics = Metrics::new();
             let view = RoutingView::new(sim.protocols());
             let early_view = RoutingView::new(early_sim.protocols());
             for &(a, b) in &pairs {
                 let (src, dst) = (labels.id(a), labels.id(b));
                 let shortest = algo::bfs_distances(&g, a)[b];
-                full.record(view.route(src, dst, 4 * n as u32), shortest);
+                full.record_observed(view.route(src, dst, 4 * n as u32), shortest, &mut metrics);
                 early.record(early_view.route(src, dst, 4 * n as u32), shortest);
             }
-            (full, early)
+            let timeline = (seed == 0).then(|| report.timeline.clone());
+            (full, early, metrics, timeline)
         });
-        let agg = |get: &dyn Fn(&(RoutingStats, RoutingStats)) -> RoutingStats, phase: &str, table: &mut Table| {
-            let srs: Vec<f64> = results.iter().map(|r| get(r).success_rate() * 100.0).collect();
+        for (_, _, m, tl) in &results {
+            merged.merge(m);
+            if let Some(tl) = tl {
+                rep_timeline = Some((n, tl.clone()));
+            }
+        }
+        type SeedResult = (
+            RoutingStats,
+            RoutingStats,
+            Metrics,
+            Option<Vec<ssr_core::ConvergencePoint>>,
+        );
+        let agg = |get: &dyn Fn(&SeedResult) -> RoutingStats, phase: &str, table: &mut Table| {
+            let srs: Vec<f64> = results
+                .iter()
+                .map(|r| get(r).success_rate() * 100.0)
+                .collect();
             let hops: Vec<f64> = results.iter().map(|r| get(r).mean_virtual_hops()).collect();
             let stretch: Vec<f64> = results.iter().map(|r| get(r).stretch()).collect();
             table.row(&[
@@ -96,4 +120,14 @@ fn main() {
         table.to_csv(path).expect("csv");
         println!("(csv written to {path})");
     }
+
+    // Manifest: route.len / route.stretch_milli histograms merged across
+    // every seed and size; timeline from the seed-0 run at the largest n.
+    let mut man = ssr_bench::manifest(&args, "exp_routing");
+    man.seed(0).record_metrics(&merged);
+    if let Some((n, tl)) = &rep_timeline {
+        man.config("timeline_n", n);
+        ssr_bench::record_bootstrap_timeline(&mut man, tl);
+    }
+    ssr_bench::emit_manifest(&mut man, started);
 }

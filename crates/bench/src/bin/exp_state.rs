@@ -17,10 +17,12 @@
 use ssr_bench::Args;
 use ssr_core::bootstrap::{run_linearized_bootstrap, BootstrapConfig};
 use ssr_linearize::{run, Semantics, Variant};
+use ssr_sim::Metrics;
 use ssr_types::IntervalPartition;
 use ssr_workloads::{parallel_map, stats::percentile, Summary, Table, Topology};
 
 fn main() {
+    let started = std::time::Instant::now();
     let args = Args::parse();
     let seeds: u64 = args.get("seeds", 5);
     let base: u64 = args.get("base", 2);
@@ -35,6 +37,9 @@ fn main() {
         &["n", "system", "peak degree / max cache", "mean", "p99"],
     );
 
+    let mut merged = Metrics::new();
+    let mut rep_timeline: Option<(usize, Vec<ssr_core::ConvergencePoint>)> = None;
+
     // abstract engine: memory vs LSN peak degree
     for &n in &sizes {
         let topo = Topology::Gnp { n, c: 2.0 };
@@ -47,6 +52,9 @@ fn main() {
                 r.peak_degree() as f64
             });
             let s = Summary::of(&peaks);
+            for &p in &peaks {
+                merged.observe_hist("state.peak_degree", p as u64);
+            }
             table.row(&[
                 n.to_string(),
                 format!("engine/{}", variant.name()),
@@ -58,21 +66,41 @@ fn main() {
     }
 
     // SSR protocol: cache entries at the end of the bootstrap
-    let ssr_sizes: Vec<usize> = if args.quick() { vec![50, 100] } else { vec![50, 100, 200, 400] };
+    let ssr_sizes: Vec<usize> = if args.quick() {
+        vec![50, 100]
+    } else {
+        vec![50, 100, 200, 400]
+    };
     for &n in &ssr_sizes {
         let topo = Topology::UnitDisk { n, scale: 1.3 };
         let inputs: Vec<u64> = (0..seeds).collect();
-        let all: Vec<Vec<f64>> = parallel_map(inputs, ssr_workloads::sweep::default_workers(), |&seed| {
+        let all = parallel_map(inputs, ssr_workloads::sweep::default_workers(), |&seed| {
             let (g, labels) = topo.instance(seed.wrapping_mul(11) ^ n as u64);
-            let mut cfg = BootstrapConfig::default();
-            cfg.seed = seed;
-            cfg.max_ticks = 300_000;
+            let mut cfg = BootstrapConfig {
+                seed,
+                max_ticks: 300_000,
+                ..Default::default()
+            };
             cfg.ssr.partition_base = base;
             let (report, sim) = run_linearized_bootstrap(&g, &labels, &cfg);
             assert!(report.converged, "n={n} seed={seed}");
-            sim.protocols().iter().map(|p| p.cache().len() as f64).collect()
+            let entries: Vec<f64> = sim
+                .protocols()
+                .iter()
+                .map(|p| p.cache().len() as f64)
+                .collect();
+            // the bootstrap runner already observed state.entries into the
+            // sim's registry; carry it (and the timeline, on seed 0) out
+            let timeline = (seed == 0).then(|| report.timeline.clone());
+            (entries, sim.metrics().clone(), timeline)
         });
-        let mut flat: Vec<f64> = all.into_iter().flatten().collect();
+        for (_, m, tl) in &all {
+            merged.merge(m);
+            if let Some(tl) = tl {
+                rep_timeline = Some((n, tl.clone()));
+            }
+        }
+        let mut flat: Vec<f64> = all.into_iter().flat_map(|(e, _, _)| e).collect();
         let s = Summary::of(&flat);
         let p99 = percentile(&mut flat, 99.0);
         table.row(&[
@@ -91,4 +119,14 @@ fn main() {
         table.to_csv(path).expect("csv");
         println!("(csv written to {path})");
     }
+
+    // Manifest: state.entries / state.peak_degree histograms merged across
+    // every seed and size; timeline from the seed-0 run at the largest n.
+    let mut man = ssr_bench::manifest(&args, "exp_state");
+    man.seed(0).config("base", base).record_metrics(&merged);
+    if let Some((n, tl)) = &rep_timeline {
+        man.config("timeline_n", n);
+        ssr_bench::record_bootstrap_timeline(&mut man, tl);
+    }
+    ssr_bench::emit_manifest(&mut man, started);
 }

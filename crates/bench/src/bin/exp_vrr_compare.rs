@@ -17,6 +17,7 @@
 
 use ssr_bench::{fmt_count, Args};
 use ssr_core::bootstrap::{run_linearized_bootstrap, BootstrapConfig};
+use ssr_obs::Value;
 use ssr_sim::LinkConfig;
 use ssr_vrr::bootstrap::run_vrr_bootstrap;
 use ssr_vrr::node::VrrMode;
@@ -32,6 +33,7 @@ struct Row {
 }
 
 fn main() {
+    let started = std::time::Instant::now();
     let args = Args::parse();
     let seeds: u64 = args.get("seeds", 5);
     let sizes: Vec<usize> = if args.quick() {
@@ -53,6 +55,7 @@ fn main() {
             "state mean",
         ],
     );
+    let mut sweep_means: Vec<(String, Value)> = Vec::new();
 
     for &n in &sizes {
         let topo = Topology::UnitDisk { n, scale: 1.3 };
@@ -62,9 +65,11 @@ fn main() {
                 let (g, labels) = topo.instance(seed.wrapping_mul(53) ^ n as u64);
                 match system {
                     "ssr" => {
-                        let mut cfg = BootstrapConfig::default();
-                        cfg.seed = seed;
-                        cfg.max_ticks = 200_000;
+                        let cfg = BootstrapConfig {
+                            seed,
+                            max_ticks: 200_000,
+                            ..Default::default()
+                        };
                         let (r, _) = run_linearized_bootstrap(&g, &labels, &cfg);
                         Row {
                             converged: r.converged,
@@ -89,7 +94,11 @@ fn main() {
                         // non-convergent VRR runs burn their whole budget at
                         // high message rates; cap it so the sweep stays
                         // tractable (convergent runs finish far earlier)
-                        let budget = if vmode == VrrMode::Baseline { 30_000 } else { 60_000 };
+                        let budget = if vmode == VrrMode::Baseline {
+                            30_000
+                        } else {
+                            60_000
+                        };
                         let (r, _) = run_vrr_bootstrap(
                             &g,
                             &labels,
@@ -121,6 +130,17 @@ fn main() {
             let max_state = rows.iter().map(|r| r.max_state).max().unwrap_or(0);
             let mean_state: f64 =
                 rows.iter().map(|r| r.mean_state).sum::<f64>() / rows.len().max(1) as f64;
+            sweep_means.push((
+                format!("{system}/n={n}"),
+                Value::Obj(vec![
+                    ("converged".into(), (conv as u64).into()),
+                    ("ticks_mean".into(), ticks.mean.into()),
+                    ("msgs_mean".into(), msgs.mean.into()),
+                    ("hello_mean".into(), hello.mean.into()),
+                    ("state_max".into(), (max_state as u64).into()),
+                    ("state_mean".into(), mean_state.into()),
+                ]),
+            ));
             table.row(&[
                 n.to_string(),
                 system.into(),
@@ -142,4 +162,24 @@ fn main() {
         table.to_csv(path).expect("csv");
         println!("(csv written to {path})");
     }
+
+    // Manifest: one representative SSR run (seed 0, largest n) for the full
+    // metric/timeline dump; the three-system sweep means ride as extras.
+    let rep_n = *sizes.last().unwrap();
+    let mut man = ssr_bench::manifest(&args, "exp_vrr_compare");
+    man.seed(0).config("timeline_n", rep_n);
+    let (g, labels) = Topology::UnitDisk {
+        n: rep_n,
+        scale: 1.3,
+    }
+    .instance(rep_n as u64);
+    let cfg = BootstrapConfig {
+        max_ticks: 200_000,
+        ..Default::default()
+    };
+    let (report, sim) = run_linearized_bootstrap(&g, &labels, &cfg);
+    man.record_metrics(sim.metrics());
+    ssr_bench::record_bootstrap_timeline(&mut man, &report.timeline);
+    man.extra("sweep", Value::Obj(sweep_means));
+    ssr_bench::emit_manifest(&mut man, started);
 }

@@ -19,13 +19,18 @@
 //! 3. **linearized SSR** — resolves it with *zero* flood messages.
 //!
 //! Run: `cargo run --release -p ssr-bench --bin fig1_loopy [-- --csv out.csv]`
+//! Flags: `--trace-jsonl PATH` streams the ISPRP-with-flood run's event
+//! trace to PATH as JSONL (one object per line; see `ssr_sim::trace`).
 
 use ssr_bench::Args;
-use ssr_core::bootstrap::{isprp_shape, make_isprp_nodes, run_linearized_bootstrap, BootstrapConfig};
+use ssr_core::bootstrap::{
+    isprp_shape, make_isprp_nodes, run_linearized_bootstrap, BootstrapConfig,
+};
 use ssr_core::consistency::{classify_succ_map, RingShape};
 use ssr_core::isprp::IsprpConfig;
 use ssr_graph::{Graph, Labeling};
-use ssr_sim::{LinkConfig, Simulator};
+use ssr_obs::Value;
+use ssr_sim::{LinkConfig, Simulator, TraceSink};
 use ssr_types::NodeId;
 use ssr_workloads::Table;
 
@@ -57,8 +62,11 @@ fn inject_loopy(nodes: &mut [ssr_core::isprp::IsprpNode], labels: &Labeling) {
 }
 
 fn main() {
+    let started = std::time::Instant::now();
     let args = Args::parse();
     let (topo, labels) = loopy_world();
+    let mut man = ssr_bench::manifest(&args, "fig1_loopy");
+    man.seed(1);
 
     println!("Figure 1 reproduction — the loopy state");
     println!("addresses: {IDS:?}");
@@ -66,7 +74,14 @@ fn main() {
 
     let mut table = Table::new(
         "E1: resolving the loopy state",
-        &["mechanism", "converged", "final shape", "ticks", "flood msgs", "total msgs"],
+        &[
+            "mechanism",
+            "converged",
+            "final shape",
+            "ticks",
+            "flood msgs",
+            "total msgs",
+        ],
     );
 
     // -- ISPRP without flood ---------------------------------------------------
@@ -94,8 +109,15 @@ fn main() {
         for (a, b) in &succ {
             println!("  {a} → {b}");
         }
-        println!("  shape: {:?}  (locally consistent, globally loopy)\n", shape);
-        assert_eq!(classify_succ_map(&succ), RingShape::Loopy(2), "expected the doubly-wound ring to persist");
+        println!(
+            "  shape: {:?}  (locally consistent, globally loopy)\n",
+            shape
+        );
+        assert_eq!(
+            classify_succ_map(&succ),
+            RingShape::Loopy(2),
+            "expected the doubly-wound ring to persist"
+        );
         table.row(&[
             "ISPRP, no flood".into(),
             "no".into(),
@@ -104,6 +126,11 @@ fn main() {
             sim.metrics().counter("msg.flood").to_string(),
             sim.metrics().counter("tx.total").to_string(),
         ]);
+        man.extra(
+            "isprp_no_flood_tx",
+            sim.metrics().counter("tx.total").into(),
+        );
+        man.extra("isprp_no_flood_shape", Value::Str(shape.label()));
     }
 
     // -- ISPRP with flood (same injected loopy start) ----------------------------
@@ -111,7 +138,15 @@ fn main() {
         let cfg = IsprpConfig::default();
         let mut nodes = make_isprp_nodes(&labels, cfg);
         inject_loopy(&mut nodes, &labels);
-        let mut sim = Simulator::new(topo.clone(), nodes, LinkConfig::ideal(), 1);
+        let sink = match args.opt("trace-jsonl") {
+            Some(path) => {
+                man.config("trace-jsonl", path);
+                TraceSink::jsonl_file(path).expect("open trace file")
+            }
+            None => TraceSink::disabled(),
+        };
+        let mut sim =
+            Simulator::with_trace(topo.clone(), nodes, LinkConfig::ideal(), 1, sink.clone());
         let outcome = sim.run_until_stable(8, 20_000, |nodes, _| {
             isprp_shape(nodes) == RingShape::ConsistentRing
         });
@@ -130,12 +165,24 @@ fn main() {
             sim.metrics().counter("msg.flood").to_string(),
             sim.metrics().counter("tx.total").to_string(),
         ]);
+        man.extra("isprp_flood_tx", sim.metrics().counter("tx.total").into());
+        man.extra(
+            "isprp_flood_msgs",
+            sim.metrics().counter("msg.flood").into(),
+        );
+        man.extra("isprp_flood_ticks", outcome.time().ticks().into());
+        sink.flush().expect("flush trace");
+        if let Some(path) = args.opt("trace-jsonl") {
+            println!("({} trace events streamed to {path})", sink.len());
+        }
     }
 
     // -- linearized SSR -----------------------------------------------------------
     {
-        let mut cfg = BootstrapConfig::default();
-        cfg.max_ticks = 20_000;
+        let cfg = BootstrapConfig {
+            max_ticks: 20_000,
+            ..Default::default()
+        };
         let (report, sim) = run_linearized_bootstrap(&topo, &labels, &cfg);
         println!(
             "linearized SSR: converged={} at t={} with zero floods",
@@ -163,6 +210,12 @@ fn main() {
             "0".into(),
             report.total_messages.to_string(),
         ]);
+        // the manifest's full metrics + timeline come from the paper's
+        // mechanism (the linearized run); the baselines are extras above
+        man.record_metrics(sim.metrics());
+        ssr_bench::record_bootstrap_timeline(&mut man, &report.timeline);
+        man.extra("linearized_tx", report.total_messages.into());
+        man.extra("linearized_ticks", report.ticks.into());
     }
 
     println!();
@@ -171,4 +224,5 @@ fn main() {
         table.to_csv(path).expect("csv");
         println!("(csv written to {path})");
     }
+    ssr_bench::emit_manifest(&mut man, started);
 }

@@ -22,11 +22,14 @@
 //! Run: `cargo run --release -p ssr-bench --bin fig2_rings [-- --csv out.csv]`
 
 use ssr_bench::Args;
-use ssr_core::bootstrap::{isprp_shape, make_isprp_nodes, run_linearized_bootstrap, BootstrapConfig};
+use ssr_core::bootstrap::{
+    isprp_shape, make_isprp_nodes, run_linearized_bootstrap, BootstrapConfig,
+};
 use ssr_core::consistency::RingShape;
 use ssr_core::isprp::IsprpConfig;
 use ssr_core::route::SourceRoute;
 use ssr_graph::{Graph, Labeling};
+use ssr_obs::Value;
 use ssr_sim::{LinkConfig, Simulator};
 use ssr_types::NodeId;
 use ssr_workloads::Table;
@@ -62,15 +65,25 @@ fn inject_two_rings(sim: &mut Simulator<ssr_core::isprp::IsprpNode>, labels: &La
 }
 
 fn main() {
+    let started = std::time::Instant::now();
     let args = Args::parse();
     let (topo, labels) = world();
+    let mut man = ssr_bench::manifest(&args, "fig2_rings");
+    man.seed(1);
 
     println!("Figure 2 reproduction — separate rings over a connected physical network");
     println!("ring A: 1→9→18→1   ring B: 4→13→21→4   bridge: 18–4\n");
 
     let mut table = Table::new(
         "E2: merging separate rings",
-        &["mechanism", "converged", "final shape", "ticks", "flood msgs", "total msgs"],
+        &[
+            "mechanism",
+            "converged",
+            "final shape",
+            "ticks",
+            "flood msgs",
+            "total msgs",
+        ],
     );
 
     // -- ISPRP without flood -------------------------------------------------------
@@ -89,7 +102,16 @@ fn main() {
             println!("  {} → {:?}", p.id(), p.succ());
         }
         println!();
-        assert_eq!(shape, RingShape::Partitioned(2), "expected the two rings to persist");
+        assert_eq!(
+            shape,
+            RingShape::Partitioned(2),
+            "expected the two rings to persist"
+        );
+        man.extra(
+            "isprp_no_flood_tx",
+            sim.metrics().counter("tx.total").into(),
+        );
+        man.extra("isprp_no_flood_shape", Value::Str(shape.label()));
         table.row(&[
             "ISPRP, no flood".into(),
             "no".into(),
@@ -116,6 +138,12 @@ fn main() {
             sim.metrics().counter("msg.flood")
         );
         assert_eq!(shape, RingShape::ConsistentRing);
+        man.extra("isprp_flood_tx", sim.metrics().counter("tx.total").into());
+        man.extra(
+            "isprp_flood_msgs",
+            sim.metrics().counter("msg.flood").into(),
+        );
+        man.extra("isprp_flood_ticks", outcome.time().ticks().into());
         table.row(&[
             "ISPRP + flood".into(),
             "yes".into(),
@@ -128,8 +156,10 @@ fn main() {
 
     // -- linearized SSR -------------------------------------------------------------------
     {
-        let mut cfg = BootstrapConfig::default();
-        cfg.max_ticks = 20_000;
+        let cfg = BootstrapConfig {
+            max_ticks: 20_000,
+            ..Default::default()
+        };
         let (report, sim) = run_linearized_bootstrap(&topo, &labels, &cfg);
         println!(
             "linearized SSR: converged={} at t={} with zero floods",
@@ -145,6 +175,10 @@ fn main() {
         }
         assert!(report.converged);
         assert_eq!(report.messages.iter().find(|(k, _)| k == "msg.flood"), None);
+        man.record_metrics(sim.metrics());
+        ssr_bench::record_bootstrap_timeline(&mut man, &report.timeline);
+        man.extra("linearized_tx", report.total_messages.into());
+        man.extra("linearized_ticks", report.ticks.into());
         table.row(&[
             "linearized SSR".into(),
             "yes".into(),
@@ -161,4 +195,5 @@ fn main() {
         table.to_csv(path).expect("csv");
         println!("(csv written to {path})");
     }
+    ssr_bench::emit_manifest(&mut man, started);
 }

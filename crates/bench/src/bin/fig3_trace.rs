@@ -11,6 +11,7 @@
 use ssr_bench::Args;
 use ssr_graph::Graph;
 use ssr_linearize::{chain_edges_present, is_exact_chain, run, step_round, Semantics, Variant};
+use ssr_obs::Value;
 
 /// The Figure-1 example in rank space: ranks 0..8 stand for addresses
 /// 1, 4, 9, 13, 18, 21, 25, 29; the initial virtual graph is the doubly
@@ -38,6 +39,7 @@ fn show(g: &Graph, ids: &[u64; 8]) {
 }
 
 fn main() {
+    let started = std::time::Instant::now();
     let args = Args::parse();
     let variant = match args.opt("variant").unwrap_or("pure") {
         "pure" => Variant::Pure,
@@ -47,7 +49,10 @@ fn main() {
     };
     let (g0, ids) = example();
 
-    println!("Figure 3 reproduction — linearization at work ({})", variant.name());
+    println!(
+        "Figure 3 reproduction — linearization at work ({})",
+        variant.name()
+    );
     println!("initial virtual graph (the loopy state, drawn as edges):");
     show(&g0, &ids);
 
@@ -69,7 +74,10 @@ fn main() {
     );
 
     // summary across variants for the same example
+    let mut man = ssr_bench::manifest(&args, "fig3_trace");
+    man.config("variant", variant.name());
     println!("\nrounds to the line, by variant (star semantics):");
+    let mut by_variant: Vec<(String, Value)> = Vec::new();
     for v in [Variant::Pure, Variant::Memory, Variant::lsn()] {
         let r = run(&g0, v, Semantics::Star, 1000);
         println!(
@@ -79,5 +87,38 @@ fn main() {
             r.exact_at,
             r.peak_degree()
         );
+        by_variant.push((
+            v.name().to_string(),
+            Value::Obj(vec![
+                (
+                    "line_at".into(),
+                    r.line_at
+                        .map(|x| Value::from(x as u64))
+                        .unwrap_or(Value::Null),
+                ),
+                (
+                    "exact_at".into(),
+                    r.exact_at
+                        .map(|x| Value::from(x as u64))
+                        .unwrap_or(Value::Null),
+                ),
+                ("peak_degree".into(), (r.peak_degree() as u64).into()),
+            ]),
+        ));
     }
+
+    // Manifest: the traced variant's per-round timeline plus the summary.
+    let traced = run(&g0, variant, Semantics::Star, 1000);
+    for rs in &traced.rounds {
+        let formed = traced.line_at.is_some_and(|at| rs.round >= at);
+        man.timeline_point(ssr_obs::TimelinePoint {
+            tick: rs.round as u64,
+            shape: if formed { "line" } else { "line-forming" }.to_string(),
+            locally_consistent: (8usize.saturating_sub(rs.missing_chain)) as u64,
+            nodes: 8,
+            churn: (rs.added + rs.removed) as u64,
+        });
+    }
+    man.extra("by_variant", Value::Obj(by_variant));
+    ssr_bench::emit_manifest(&mut man, started);
 }

@@ -58,9 +58,7 @@ impl Args {
     {
         match self.opt(name) {
             None => default,
-            Some(v) => v
-                .parse()
-                .unwrap_or_else(|e| panic!("--{name} {v}: {e:?}")),
+            Some(v) => v.parse().unwrap_or_else(|e| panic!("--{name} {v}: {e:?}")),
         }
     }
 
@@ -72,6 +70,50 @@ impl Args {
     /// Quick (smoke-test) mode.
     pub fn quick(&self) -> bool {
         self.flag("quick")
+    }
+}
+
+/// Starts a run manifest for `exp`, pre-filled with the shared CLI
+/// configuration (`--quick`, `--seeds`, `--csv`) so every binary records
+/// the flags that shaped its sweep the same way.
+pub fn manifest(args: &Args, exp: &str) -> ssr_obs::Manifest {
+    let mut man = ssr_obs::Manifest::new(exp);
+    man.config("quick", args.quick());
+    if let Some(seeds) = args.opt("seeds") {
+        man.config("seeds", seeds);
+    }
+    if let Some(csv) = args.csv() {
+        man.config("csv", csv);
+    }
+    man
+}
+
+/// Copies a bootstrap convergence timeline (as recorded by the probe
+/// subsystem) into a manifest, translating ring shapes to their stable
+/// labels.
+pub fn record_bootstrap_timeline(
+    man: &mut ssr_obs::Manifest,
+    timeline: &[ssr_core::ConvergencePoint],
+) {
+    for p in timeline {
+        man.timeline_point(ssr_obs::TimelinePoint {
+            tick: p.tick,
+            shape: p.shape.label(),
+            locally_consistent: p.locally_consistent as u64,
+            nodes: p.nodes as u64,
+            churn: p.succ_churn as u64,
+        });
+    }
+}
+
+/// Stamps the wall time and writes the manifest to its conventional
+/// location (`results/<exp>.manifest.json`). A write failure is reported
+/// but never aborts the experiment — manifests are provenance, not results.
+pub fn emit_manifest(man: &mut ssr_obs::Manifest, started: std::time::Instant) {
+    man.wall_ms(started.elapsed().as_millis() as u64);
+    match man.write_default() {
+        Ok(path) => println!("(manifest written to {})", path.display()),
+        Err(e) => eprintln!("warning: manifest not written: {e}"),
     }
 }
 
@@ -100,6 +142,29 @@ mod tests {
         assert_eq!(a.get("seeds", 10usize), 5);
         assert_eq!(a.get("other", 7u64), 7);
         assert_eq!(a.csv(), Some("/tmp/x.csv"));
+    }
+
+    #[test]
+    fn manifest_prefills_shared_config() {
+        let a = Args::from(&["--quick", "--seeds", "5"]);
+        let mut man = manifest(&a, "exp_x");
+        record_bootstrap_timeline(
+            &mut man,
+            &[ssr_core::ConvergencePoint {
+                tick: 4,
+                shape: ssr_core::consistency::RingShape::Loopy(2),
+                locally_consistent: 3,
+                nodes: 8,
+                succ_churn: 1,
+            }],
+        );
+        let v = ssr_obs::parse(&man.to_json()).unwrap();
+        let config = v.get("config").unwrap();
+        assert_eq!(config.get("quick").unwrap().as_str(), Some("true"));
+        assert_eq!(config.get("seeds").unwrap().as_str(), Some("5"));
+        let tl = v.get("timeline").unwrap().as_arr().unwrap();
+        assert_eq!(tl[0].get("shape").unwrap().as_str(), Some("loopy(2)"));
+        assert_eq!(tl[0].get("churn").unwrap().as_u64(), Some(1));
     }
 
     #[test]

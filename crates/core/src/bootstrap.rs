@@ -39,6 +39,23 @@ impl Default for BootstrapConfig {
     }
 }
 
+/// One probe sample of the convergence trajectory, taken every
+/// `check_every` ticks during a bootstrap run.
+#[derive(Clone, Debug)]
+pub struct ConvergencePoint {
+    /// Sample time.
+    pub tick: u64,
+    /// Successor-structure classification at that time.
+    pub shape: RingShape,
+    /// Nodes that were locally consistent.
+    pub locally_consistent: usize,
+    /// Total nodes.
+    pub nodes: usize,
+    /// Nodes whose ring successor changed since the previous sample
+    /// (0 at the first sample).
+    pub succ_churn: usize,
+}
+
 /// What a bootstrap run cost and achieved.
 #[derive(Clone, Debug)]
 pub struct BootstrapReport {
@@ -57,15 +74,37 @@ pub struct BootstrapReport {
     /// Final consistency classification (linearized runs; for ISPRP only
     /// `shape` is meaningful).
     pub consistency: ConsistencyReport,
+    /// Convergence trajectory sampled every `check_every` ticks.
+    pub timeline: Vec<ConvergencePoint>,
 }
 
 impl BootstrapReport {
+    /// First sample time at which every node was locally consistent
+    /// (stayed so or not — this is the *first* crossing, matching how the
+    /// paper reports "local consistency is quickly restored").
+    pub fn time_to_local_consistency(&self) -> Option<u64> {
+        self.timeline
+            .iter()
+            .find(|p| p.nodes > 0 && p.locally_consistent == p.nodes)
+            .map(|p| p.tick)
+    }
+
+    /// First sample time at which the successor structure classified as the
+    /// globally consistent ring.
+    pub fn time_to_global_consistency(&self) -> Option<u64> {
+        self.timeline
+            .iter()
+            .find(|p| p.shape == RingShape::ConsistentRing)
+            .map(|p| p.tick)
+    }
+
     fn from_metrics(
         converged: bool,
         ticks: u64,
         metrics: &ssr_sim::Metrics,
         states: impl Iterator<Item = usize>,
         consistency: ConsistencyReport,
+        timeline: Vec<ConvergencePoint>,
     ) -> Self {
         let messages: Vec<(String, u64)> = metrics
             .counters()
@@ -87,10 +126,78 @@ impl BootstrapReport {
             messages,
             total_messages,
             max_state,
-            mean_state: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+            mean_state: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
             consistency,
+            timeline,
         }
     }
+}
+
+/// Shared timeline recorder: a probe closure samples the successor map via
+/// `succ_of`, classifies it with `shape_of`, and appends one
+/// [`ConvergencePoint`] per firing. The recorder also feeds the canonical
+/// `probe.*` metrics (`probe.samples` counter, `probe.locally_consistent`
+/// gauge) so the series sampler picks convergence up too.
+fn timeline_probe<P, FS, FH, FL>(
+    out: std::rc::Rc<std::cell::RefCell<Vec<ConvergencePoint>>>,
+    succ_of: FS,
+    shape_of: FH,
+    locally_consistent: FL,
+) -> impl FnMut(&mut ssr_sim::ProbeView<'_, P>) + 'static
+where
+    P: ssr_sim::Protocol,
+    FS: Fn(&P) -> Option<(NodeId, NodeId)> + 'static,
+    FH: Fn(&[P]) -> RingShape + 'static,
+    FL: Fn(&P) -> bool + 'static,
+{
+    let mut prev: Option<std::collections::BTreeMap<NodeId, NodeId>> = None;
+    move |view| {
+        let succ: std::collections::BTreeMap<NodeId, NodeId> =
+            view.protocols.iter().filter_map(&succ_of).collect();
+        let succ_churn = match &prev {
+            None => 0,
+            Some(old) => {
+                let changed = succ.iter().filter(|(k, v)| old.get(*k) != Some(*v)).count();
+                let vanished = old.keys().filter(|k| !succ.contains_key(*k)).count();
+                changed + vanished
+            }
+        };
+        let local = view
+            .protocols
+            .iter()
+            .filter(|p| locally_consistent(p))
+            .count();
+        view.metrics.incr("probe.samples");
+        view.metrics
+            .observe("probe.locally_consistent", local as f64);
+        out.borrow_mut().push(ConvergencePoint {
+            tick: view.now.ticks(),
+            shape: shape_of(view.protocols),
+            locally_consistent: local,
+            nodes: view.protocols.len(),
+            succ_churn,
+        });
+        prev = Some(succ);
+    }
+}
+
+/// A ready-made convergence recorder for linearized-SSR simulators built
+/// outside the one-call runners (the churn experiment drives its own
+/// three-phase simulation): install with [`ssr_sim::Simulator::add_probe`]
+/// and every firing appends one [`ConvergencePoint`] to `out`.
+pub fn ssr_timeline_probe(
+    out: std::rc::Rc<std::cell::RefCell<Vec<ConvergencePoint>>>,
+) -> impl FnMut(&mut ssr_sim::ProbeView<'_, SsrNode>) + 'static {
+    timeline_probe(
+        out,
+        |n: &SsrNode| n.ring_succ().map(|s| (n.id(), s)),
+        |nodes| consistency::check_ring(nodes).shape,
+        |n| n.locally_consistent(),
+    )
 }
 
 /// Builds the linearized-SSR node set for a labeled topology.
@@ -122,18 +229,33 @@ pub fn run_linearized_bootstrap(
     assert_eq!(topo.node_count(), labels.len());
     let nodes = make_ssr_nodes(labels, cfg.ssr);
     let mut sim = Simulator::new(topo.clone(), nodes, cfg.link, cfg.seed);
+    let timeline = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    sim.add_probe(
+        cfg.check_every.max(1),
+        timeline_probe(
+            std::rc::Rc::clone(&timeline),
+            |n: &SsrNode| n.ring_succ().map(|s| (n.id(), s)),
+            |nodes| consistency::check_ring(nodes).shape,
+            |n| n.locally_consistent(),
+        ),
+    );
     let outcome = sim.run_until_stable(cfg.check_every, cfg.max_ticks, |nodes, _| {
         consistency::check_ring(nodes).consistent()
     });
     let report = consistency::check_ring(sim.protocols());
     let converged = report.consistent();
     let ticks = outcome.time().ticks();
+    let states: Vec<usize> = sim.protocols().iter().map(|n| n.cache().len()).collect();
+    for &s in &states {
+        sim.metrics_mut().observe_hist("state.entries", s as u64);
+    }
     let report = BootstrapReport::from_metrics(
         converged,
         ticks,
         sim.metrics(),
-        sim.protocols().iter().map(|n| n.cache().len()),
+        states.into_iter(),
         report,
+        timeline.borrow().clone(),
     );
     (report, sim)
 }
@@ -148,6 +270,16 @@ pub fn run_isprp_bootstrap(
     assert_eq!(topo.node_count(), labels.len());
     let nodes = make_isprp_nodes(labels, cfg.isprp);
     let mut sim = Simulator::new(topo.clone(), nodes, cfg.link, cfg.seed);
+    let timeline = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    sim.add_probe(
+        cfg.check_every.max(1),
+        timeline_probe(
+            std::rc::Rc::clone(&timeline),
+            |n: &IsprpNode| n.succ().map(|s| (n.id(), s)),
+            isprp_shape,
+            |n| n.locally_consistent(),
+        ),
+    );
     let outcome = sim.run_until_stable(cfg.check_every, cfg.max_ticks, |nodes, _| {
         isprp_consistent(nodes)
     });
@@ -166,12 +298,17 @@ pub fn run_isprp_bootstrap(
         shape,
     };
     let ticks = outcome.time().ticks();
+    let states: Vec<usize> = sim.protocols().iter().map(|p| p.cache().len()).collect();
+    for &s in &states {
+        sim.metrics_mut().observe_hist("state.entries", s as u64);
+    }
     let report = BootstrapReport::from_metrics(
         converged,
         ticks,
         sim.metrics(),
-        sim.protocols().iter().map(|p| p.cache().len()),
+        states.into_iter(),
         consistency,
+        timeline.borrow().clone(),
     );
     (report, sim)
 }
@@ -224,8 +361,7 @@ mod tests {
     fn linearized_bootstrap_converges_on_unit_disk() {
         for seed in 0..3 {
             let (topo, labels) = topo_and_labels(40, seed);
-            let (report, _) =
-                run_linearized_bootstrap(&topo, &labels, &BootstrapConfig::default());
+            let (report, _) = run_linearized_bootstrap(&topo, &labels, &BootstrapConfig::default());
             assert!(report.converged, "seed {seed}: {report:?}");
             assert!(report.total_messages > 0);
             assert!(report.max_state >= 2);
@@ -248,7 +384,10 @@ mod tests {
             assert!(report.converged, "seed {seed}: {report:?}");
             // the flood must have happened
             assert!(
-                report.messages.iter().any(|(k, v)| k == "msg.flood" && *v > 0),
+                report
+                    .messages
+                    .iter()
+                    .any(|(k, v)| k == "msg.flood" && *v > 0),
                 "no flood messages: {:?}",
                 report.messages
             );
@@ -265,6 +404,50 @@ mod tests {
         let b = &sim.protocols()[1];
         assert_eq!(a.ring_succ(), Some(b.id()));
         assert_eq!(b.ring_succ(), Some(a.id()));
+    }
+
+    #[test]
+    fn timeline_tracks_convergence() {
+        let (topo, labels) = topo_and_labels(30, 3);
+        let (report, sim) = run_linearized_bootstrap(&topo, &labels, &BootstrapConfig::default());
+        assert!(report.converged);
+        assert!(!report.timeline.is_empty());
+        // the first sample (t=0) is pre-convergence, the last is consistent
+        let first = &report.timeline[0];
+        assert_eq!(first.tick, 0);
+        assert_ne!(first.shape, RingShape::ConsistentRing);
+        assert_eq!(first.succ_churn, 0);
+        let last = report.timeline.last().unwrap();
+        assert_eq!(last.shape, RingShape::ConsistentRing);
+        // local consistency also requires settled handshakes, so it can
+        // trail the ring shape — but most nodes must have it by the end
+        assert!(last.locally_consistent * 2 > last.nodes, "{last:?}");
+        // pointers moved at some point
+        assert!(report.timeline.iter().any(|p| p.succ_churn > 0));
+        let t_global = report.time_to_global_consistency().expect("global");
+        assert!(t_global <= report.ticks);
+        if let Some(t_local) = report.time_to_local_consistency() {
+            assert!(t_local <= report.ticks);
+        }
+        // probe metrics fed alongside
+        assert_eq!(
+            sim.metrics().counter("probe.samples"),
+            report.timeline.len() as u64
+        );
+        assert!(sim.metrics().hist("state.entries").is_some());
+        assert!(sim.metrics().hist("latency.ticks").is_some());
+    }
+
+    #[test]
+    fn isprp_timeline_also_records() {
+        let (topo, labels) = topo_and_labels(20, 42);
+        let (report, _) = run_isprp_bootstrap(&topo, &labels, &BootstrapConfig::default());
+        assert!(report.converged);
+        assert!(!report.timeline.is_empty());
+        assert_eq!(
+            report.timeline.last().unwrap().shape,
+            RingShape::ConsistentRing
+        );
     }
 
     #[test]

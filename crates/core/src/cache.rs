@@ -139,13 +139,25 @@ impl RouteCache {
         }
         let slot = self.partition.index(self.me, dst).unwrap();
         if pinned {
-            self.entries.insert(dst, CacheEntry { route, pinned: true });
+            self.entries.insert(
+                dst,
+                CacheEntry {
+                    route,
+                    pinned: true,
+                },
+            );
             return InsertOutcome::Inserted;
         }
         match self.occupant.get(&slot).copied() {
             None => {
                 self.occupant.insert(slot, dst);
-                self.entries.insert(dst, CacheEntry { route, pinned: false });
+                self.entries.insert(
+                    dst,
+                    CacheEntry {
+                        route,
+                        pinned: false,
+                    },
+                );
                 InsertOutcome::Inserted
             }
             Some(old) => {
@@ -157,7 +169,13 @@ impl RouteCache {
                 if new_key < old_key {
                     self.entries.remove(&old);
                     self.occupant.insert(slot, dst);
-                    self.entries.insert(dst, CacheEntry { route, pinned: false });
+                    self.entries.insert(
+                        dst,
+                        CacheEntry {
+                            route,
+                            pinned: false,
+                        },
+                    );
                     InsertOutcome::Replaced
                 } else {
                     InsertOutcome::Rejected
@@ -274,7 +292,10 @@ mod tests {
     #[test]
     fn self_route_rejected() {
         let mut c = RouteCache::new(NodeId(100));
-        assert_eq!(c.insert(SourceRoute::trivial(NodeId(100)), false), InsertOutcome::Rejected);
+        assert_eq!(
+            c.insert(SourceRoute::trivial(NodeId(100)), false),
+            InsertOutcome::Rejected
+        );
     }
 
     #[test]
@@ -284,7 +305,10 @@ mod tests {
         assert_eq!(c.insert(route(&[100, 120]), false), InsertOutcome::Replaced);
         assert_eq!(c.get(NodeId(120)).unwrap().len(), 1);
         // longer duplicate rejected
-        assert_eq!(c.insert(route(&[100, 7, 120]), false), InsertOutcome::Rejected);
+        assert_eq!(
+            c.insert(route(&[100, 7, 120]), false),
+            InsertOutcome::Rejected
+        );
     }
 
     #[test]
@@ -303,7 +327,11 @@ mod tests {
     fn different_intervals_coexist() {
         let mut c = RouteCache::new(NodeId(0));
         for d in [1u64, 2, 4, 8, 16, 32] {
-            assert_eq!(c.insert(route(&[0, d]), false), InsertOutcome::Inserted, "dst {d}");
+            assert_eq!(
+                c.insert(route(&[0, d]), false),
+                InsertOutcome::Inserted,
+                "dst {d}"
+            );
         }
         assert_eq!(c.len(), 6);
     }
@@ -354,8 +382,8 @@ mod tests {
         c.insert(route(&[0, 4, 17]), false);
         c.insert(route(&[0, 3]), true);
         assert_eq!(c.purge_via(NodeId(3)), 2); // the 9-route and the pinned direct route...
-        // routes *through* 3: [0,3,9] transits 3; [0,3] ends at 3 (also purged:
-        // hops()[1..] contains 3)
+                                               // routes *through* 3: [0,3,9] transits 3; [0,3] ends at 3 (also purged:
+                                               // hops()[1..] contains 3)
         assert!(!c.contains(NodeId(9)));
         assert!(!c.contains(NodeId(3)));
         assert!(c.contains(NodeId(17)));

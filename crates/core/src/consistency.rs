@@ -38,6 +38,20 @@ pub enum RingShape {
     Incomplete,
 }
 
+impl RingShape {
+    /// A stable, machine-readable label — the vocabulary used by run
+    /// manifests and the `obs` tooling: `consistent-ring`, `loopy(k)`,
+    /// `partitioned(k)`, `incomplete`.
+    pub fn label(&self) -> String {
+        match self {
+            RingShape::ConsistentRing => "consistent-ring".to_string(),
+            RingShape::Loopy(w) => format!("loopy({w})"),
+            RingShape::Partitioned(c) => format!("partitioned({c})"),
+            RingShape::Incomplete => "incomplete".to_string(),
+        }
+    }
+}
+
 /// Outcome of a consistency check over all node states.
 #[derive(Clone, Debug)]
 pub struct ConsistencyReport {
@@ -235,7 +249,10 @@ mod tests {
     fn empty_and_singleton() {
         assert_eq!(classify_succ_map(&succ_map(&[])), RingShape::ConsistentRing);
         // a single node whose successor is itself: one cycle, one winding
-        assert_eq!(classify_succ_map(&succ_map(&[(5, 5)])), RingShape::ConsistentRing);
+        assert_eq!(
+            classify_succ_map(&succ_map(&[(5, 5)])),
+            RingShape::ConsistentRing
+        );
     }
 
     #[test]
@@ -258,8 +275,8 @@ mod tests {
 
     #[test]
     fn check_line_and_ring_over_hand_built_nodes() {
-        use crate::route::SourceRoute;
         use crate::node::SsrNode;
+        use crate::route::SourceRoute;
         let ids = [NodeId(10), NodeId(20), NodeId(30)];
         let mut nodes: Vec<SsrNode> = ids.iter().map(|&i| SsrNode::new(i)).collect();
         // wire the line 10–20–30 through test-only state manipulation
@@ -272,17 +289,23 @@ mod tests {
         assert!(report.line_formed);
         assert!(!report.ring_closed);
         assert_eq!(report.shape, RingShape::Incomplete); // min/max lack ring edges
-        // close the ring
-        nodes[0].inject_wrap_pred(NodeId(30), SourceRoute::from_hops(vec![NodeId(10), NodeId(20), NodeId(30)]));
-        nodes[2].inject_wrap_succ(NodeId(10), SourceRoute::from_hops(vec![NodeId(30), NodeId(20), NodeId(10)]));
+                                                         // close the ring
+        nodes[0].inject_wrap_pred(
+            NodeId(30),
+            SourceRoute::from_hops(vec![NodeId(10), NodeId(20), NodeId(30)]),
+        );
+        nodes[2].inject_wrap_succ(
+            NodeId(10),
+            SourceRoute::from_hops(vec![NodeId(30), NodeId(20), NodeId(10)]),
+        );
         let report = check_ring(&nodes);
         assert!(report.consistent(), "{report:?}");
     }
 
     #[test]
     fn check_line_fails_on_extra_outer_neighbors() {
-        use crate::route::SourceRoute;
         use crate::node::SsrNode;
+        use crate::route::SourceRoute;
         let mut nodes = vec![SsrNode::new(NodeId(10)), SsrNode::new(NodeId(20))];
         nodes[0].inject_neighbor(SourceRoute::direct(NodeId(10), NodeId(20)));
         nodes[1].inject_neighbor(SourceRoute::direct(NodeId(20), NodeId(10)));

@@ -296,7 +296,12 @@ impl IsprpNode {
     }
 
     /// A claim "you are my successor" arrived from `claimant`.
-    fn handle_claim(&mut self, ctx: &mut Ctx<'_, SsrMsg>, claimant: NodeId, reply_route: Vec<NodeId>) {
+    fn handle_claim(
+        &mut self,
+        ctx: &mut Ctx<'_, SsrMsg>,
+        claimant: NodeId,
+        reply_route: Vec<NodeId>,
+    ) {
         let Some(route_back) = crate::node_util::checked_route(self.id, reply_route) else {
             ctx.metrics().incr("fwd.bad_trace");
             return;
@@ -514,14 +519,13 @@ impl Protocol for IsprpNode {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, SsrMsg>, token: u64) {
         match token {
             TOKEN_ACT => self.act(ctx),
-            TOKEN_FLOOD
-                if self.config.enable_flood && !self.flooded && self.rep == self.id => {
-                    self.flooded = true;
-                    ctx.broadcast(SsrMsg::Flood {
-                        origin: self.id,
-                        trace: vec![self.id],
-                    });
-                }
+            TOKEN_FLOOD if self.config.enable_flood && !self.flooded && self.rep == self.id => {
+                self.flooded = true;
+                ctx.broadcast(SsrMsg::Flood {
+                    origin: self.id,
+                    trace: vec![self.id],
+                });
+            }
             TOKEN_STABILIZE => {
                 self.stab_armed = false;
                 let sig = self.signature();

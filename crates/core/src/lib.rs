@@ -41,7 +41,10 @@ pub mod node_util;
 pub mod route;
 pub mod routing;
 
-pub use bootstrap::{run_isprp_bootstrap, run_linearized_bootstrap, BootstrapConfig, BootstrapReport};
+pub use bootstrap::{
+    run_isprp_bootstrap, run_linearized_bootstrap, BootstrapConfig, BootstrapReport,
+    ConvergencePoint,
+};
 pub use cache::RouteCache;
 pub use consistency::{check_line, check_ring, ConsistencyReport};
 pub use node::SsrNode;

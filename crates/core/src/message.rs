@@ -187,12 +187,16 @@ fn put_dir(buf: &mut BytesMut, dir: Direction) {
 
 fn get_dir(buf: &mut Bytes) -> Result<Direction, DecodeError> {
     if buf.remaining() < 1 {
-        return Err(DecodeError { context: "direction" });
+        return Err(DecodeError {
+            context: "direction",
+        });
     }
     match buf.get_u8() {
         0 => Ok(Direction::Cw),
         1 => Ok(Direction::Ccw),
-        _ => Err(DecodeError { context: "direction tag" }),
+        _ => Err(DecodeError {
+            context: "direction tag",
+        }),
     }
 }
 
@@ -246,7 +250,11 @@ fn encode_payload(p: &Payload, buf: &mut BytesMut) {
             wire::put_node_id(buf, *origin);
             put_dir(buf, *dir);
         }
-        Payload::CloseRing { acceptor, dir, route } => {
+        Payload::CloseRing {
+            acceptor,
+            dir,
+            route,
+        } => {
             buf.put_u8(PTAG_CLOSE_RING);
             wire::put_node_id(buf, *acceptor);
             put_dir(buf, *dir);
@@ -257,7 +265,10 @@ fn encode_payload(p: &Payload, buf: &mut BytesMut) {
             wire::put_node_id(buf, *from);
             wire::put_id_list(buf, reply_route);
         }
-        Payload::SuccUpdate { better, route_to_better } => {
+        Payload::SuccUpdate {
+            better,
+            route_to_better,
+        } => {
             buf.put_u8(PTAG_SUCC_UPDATE);
             wire::put_node_id(buf, *better);
             wire::put_id_list(buf, route_to_better);
@@ -273,7 +284,9 @@ fn encode_payload(p: &Payload, buf: &mut BytesMut) {
 /// Decodes a message from `buf`.
 pub fn decode(buf: &mut Bytes) -> Result<SsrMsg, DecodeError> {
     if buf.remaining() < 1 {
-        return Err(DecodeError { context: "message tag" });
+        return Err(DecodeError {
+            context: "message tag",
+        });
     }
     match buf.get_u8() {
         TAG_HELLO => Ok(SsrMsg::Hello {
@@ -282,7 +295,9 @@ pub fn decode(buf: &mut Bytes) -> Result<SsrMsg, DecodeError> {
         TAG_FORWARD => {
             let route = wire::get_id_list(buf)?;
             if buf.remaining() < 4 {
-                return Err(DecodeError { context: "envelope position" });
+                return Err(DecodeError {
+                    context: "envelope position",
+                });
             }
             let pos = buf.get_u32() as usize;
             let trace = wire::get_id_list(buf)?;
@@ -298,13 +313,17 @@ pub fn decode(buf: &mut Bytes) -> Result<SsrMsg, DecodeError> {
             origin: wire::get_node_id(buf)?,
             trace: wire::get_id_list(buf)?,
         }),
-        _ => Err(DecodeError { context: "message tag value" }),
+        _ => Err(DecodeError {
+            context: "message tag value",
+        }),
     }
 }
 
 fn decode_payload(buf: &mut Bytes) -> Result<Payload, DecodeError> {
     if buf.remaining() < 1 {
-        return Err(DecodeError { context: "payload tag" });
+        return Err(DecodeError {
+            context: "payload tag",
+        });
     }
     match buf.get_u8() {
         PTAG_NOTIFY => Ok(Payload::Notify {
@@ -340,14 +359,18 @@ fn decode_payload(buf: &mut Bytes) -> Result<Payload, DecodeError> {
         PTAG_DATA_PROBE => {
             let target = wire::get_node_id(buf)?;
             if buf.remaining() < 4 {
-                return Err(DecodeError { context: "probe hops" });
+                return Err(DecodeError {
+                    context: "probe hops",
+                });
             }
             Ok(Payload::DataProbe {
                 target,
                 hops: buf.get_u32(),
             })
         }
-        _ => Err(DecodeError { context: "payload tag value" }),
+        _ => Err(DecodeError {
+            context: "payload tag value",
+        }),
     }
 }
 
@@ -387,24 +410,46 @@ mod tests {
                 reply_route: ids(&[2, 1]),
                 seq: SeqNo(9),
             },
-            Payload::NotifyAck { about: NodeId(3), seq: SeqNo(9) },
+            Payload::NotifyAck {
+                about: NodeId(3),
+                seq: SeqNo(9),
+            },
             Payload::Teardown { from: NodeId(1) },
-            Payload::Discover { origin: NodeId(4), dir: Direction::Cw },
-            Payload::Discover { origin: NodeId(4), dir: Direction::Ccw },
+            Payload::Discover {
+                origin: NodeId(4),
+                dir: Direction::Cw,
+            },
+            Payload::Discover {
+                origin: NodeId(4),
+                dir: Direction::Ccw,
+            },
             Payload::CloseRing {
                 acceptor: NodeId(30),
                 dir: Direction::Cw,
                 route: ids(&[4, 9, 30]),
             },
-            Payload::SuccNotify { from: NodeId(5), reply_route: ids(&[6, 5]) },
-            Payload::SuccUpdate { better: NodeId(8), route_to_better: ids(&[6, 5, 8]) },
-            Payload::DataProbe { target: NodeId(99), hops: 12 },
+            Payload::SuccNotify {
+                from: NodeId(5),
+                reply_route: ids(&[6, 5]),
+            },
+            Payload::SuccUpdate {
+                better: NodeId(8),
+                route_to_better: ids(&[6, 5, 8]),
+            },
+            Payload::DataProbe {
+                target: NodeId(99),
+                hops: 12,
+            },
         ];
         for payload in payloads {
             roundtrip(SsrMsg::Forward(ForwardEnvelope {
                 route: ids(&[1, 2]),
                 pos: 0,
-                trace: if payload.wants_trace() { ids(&[1]) } else { vec![] },
+                trace: if payload.wants_trace() {
+                    ids(&[1])
+                } else {
+                    vec![]
+                },
                 payload,
             }));
         }
@@ -412,17 +457,51 @@ mod tests {
 
     #[test]
     fn flood_roundtrip() {
-        roundtrip(SsrMsg::Flood { origin: NodeId(42), trace: ids(&[42, 3, 5]) });
+        roundtrip(SsrMsg::Flood {
+            origin: NodeId(42),
+            trace: ids(&[42, 3, 5]),
+        });
     }
 
     #[test]
     fn kinds() {
         assert_eq!(SsrMsg::Hello { id: NodeId(0) }.kind(), "hello");
-        assert_eq!(SsrMsg::Flood { origin: NodeId(0), trace: vec![] }.kind(), "flood");
-        let env = |payload| SsrMsg::Forward(ForwardEnvelope { route: vec![], pos: 0, trace: vec![], payload });
-        assert_eq!(env(Payload::Teardown { from: NodeId(0) }).kind(), "teardown");
-        assert_eq!(env(Payload::Discover { origin: NodeId(0), dir: Direction::Cw }).kind(), "discover");
-        assert_eq!(env(Payload::DataProbe { target: NodeId(0), hops: 0 }).kind(), "data");
+        assert_eq!(
+            SsrMsg::Flood {
+                origin: NodeId(0),
+                trace: vec![]
+            }
+            .kind(),
+            "flood"
+        );
+        let env = |payload| {
+            SsrMsg::Forward(ForwardEnvelope {
+                route: vec![],
+                pos: 0,
+                trace: vec![],
+                payload,
+            })
+        };
+        assert_eq!(
+            env(Payload::Teardown { from: NodeId(0) }).kind(),
+            "teardown"
+        );
+        assert_eq!(
+            env(Payload::Discover {
+                origin: NodeId(0),
+                dir: Direction::Cw
+            })
+            .kind(),
+            "discover"
+        );
+        assert_eq!(
+            env(Payload::DataProbe {
+                target: NodeId(0),
+                hops: 0
+            })
+            .kind(),
+            "data"
+        );
     }
 
     #[test]
@@ -441,8 +520,17 @@ mod tests {
 
     #[test]
     fn only_discover_wants_trace() {
-        assert!(Payload::Discover { origin: NodeId(0), dir: Direction::Cw }.wants_trace());
+        assert!(Payload::Discover {
+            origin: NodeId(0),
+            dir: Direction::Cw
+        }
+        .wants_trace());
         assert!(!Payload::Teardown { from: NodeId(0) }.wants_trace());
-        assert!(!Payload::CloseRing { acceptor: NodeId(0), dir: Direction::Cw, route: vec![] }.wants_trace());
+        assert!(!Payload::CloseRing {
+            acceptor: NodeId(0),
+            dir: Direction::Cw,
+            route: vec![]
+        }
+        .wants_trace());
     }
 }

@@ -188,7 +188,10 @@ mod tests {
         let back = r(&[2, 7, 1]); // v2 → v1 via 7
         let fwd = r(&[1, 8, 3]); // v1 → v3 via 8
         let combined = back.concat(&fwd);
-        assert_eq!(combined.hops(), &[NodeId(2), NodeId(7), NodeId(1), NodeId(8), NodeId(3)]);
+        assert_eq!(
+            combined.hops(),
+            &[NodeId(2), NodeId(7), NodeId(1), NodeId(8), NodeId(3)]
+        );
         assert!(combined.is_simple());
     }
 

@@ -158,6 +158,29 @@ impl RoutingStats {
             self.shortest_hops += u64::from(shortest);
         }
     }
+
+    /// Like [`RoutingStats::record`], additionally feeding the canonical
+    /// route histograms — `route.len` (physical hops of delivered packets)
+    /// and `route.stretch_milli` (per-packet stretch × 1000, so the log
+    /// buckets resolve ratios near 1) — plus the `route.attempts` /
+    /// `route.delivered` counters.
+    pub fn record_observed(
+        &mut self,
+        outcome: RouteOutcome,
+        shortest: u32,
+        metrics: &mut ssr_sim::Metrics,
+    ) {
+        metrics.incr("route.attempts");
+        if let RouteOutcome::Delivered { physical_hops, .. } = outcome {
+            metrics.incr("route.delivered");
+            metrics.observe_hist("route.len", u64::from(physical_hops));
+            if shortest > 0 {
+                let stretch_milli = u64::from(physical_hops) * 1000 / u64::from(shortest);
+                metrics.observe_hist("route.stretch_milli", stretch_milli);
+            }
+        }
+        self.record(outcome, shortest);
+    }
 }
 
 #[cfg(test)]
@@ -255,8 +278,33 @@ mod tests {
         let view = RoutingView::new(&nodes);
         // 10 → 30 needs two successor hops (the ring edge to 40 overshoots
         // and is never a candidate); budget 1 fails
-        assert_eq!(view.route(NodeId(10), NodeId(30), 1), RouteOutcome::Exhausted);
+        assert_eq!(
+            view.route(NodeId(10), NodeId(30), 1),
+            RouteOutcome::Exhausted
+        );
         assert!(view.route(NodeId(10), NodeId(30), 2).delivered());
+    }
+
+    #[test]
+    fn record_observed_feeds_route_histograms() {
+        let mut stats = RoutingStats::default();
+        let mut metrics = ssr_sim::Metrics::new();
+        stats.record_observed(
+            RouteOutcome::Delivered {
+                virtual_hops: 2,
+                physical_hops: 6,
+            },
+            4,
+            &mut metrics,
+        );
+        stats.record_observed(RouteOutcome::Exhausted, 3, &mut metrics);
+        assert_eq!(stats.attempts, 2);
+        let len = metrics.hist("route.len").expect("route.len");
+        assert_eq!(len.count(), 1);
+        assert_eq!(len.max(), Some(6));
+        // 6 hops over a 4-hop shortest path = stretch 1.5 → 1500
+        let stretch = metrics.hist("route.stretch_milli").expect("stretch");
+        assert_eq!(stretch.max(), Some(1500));
     }
 
     #[test]

@@ -117,9 +117,11 @@ proptest! {
         let mut g = generators::gnp(n, p, &mut rng);
         generators::ensure_connected(&mut g, &mut rng);
         let labels = Labeling::random(n, &mut rng);
-        let mut cfg = BootstrapConfig::default();
-        cfg.seed = seed;
-        cfg.max_ticks = 60_000;
+        let cfg = BootstrapConfig {
+            seed,
+            max_ticks: 60_000,
+            ..Default::default()
+        };
         let (report, sim) = run_linearized_bootstrap(&g, &labels, &cfg);
         prop_assert!(report.converged, "no convergence: {report:?}");
         // no flooding ever
@@ -147,9 +149,11 @@ fn bootstrap_converges_on_a_handful_of_connected_graphs() {
         let mut g = generators::gnp(n, 0.2, &mut rng);
         generators::ensure_connected(&mut g, &mut rng);
         let labels = Labeling::random(n, &mut rng);
-        let mut cfg = BootstrapConfig::default();
-        cfg.seed = seed;
-        cfg.max_ticks = 60_000;
+        let cfg = BootstrapConfig {
+            seed,
+            max_ticks: 60_000,
+            ..Default::default()
+        };
         let (report, sim) = run_linearized_bootstrap(&g, &labels, &cfg);
         assert!(report.converged, "seed {seed}: {report:?}");
         let view = RoutingView::new(sim.protocols());
@@ -157,7 +161,8 @@ fn bootstrap_converges_on_a_handful_of_connected_graphs() {
         for a in 0..n {
             for b in 0..n {
                 assert!(
-                    view.route(labels.id(a), labels.id(b), 4 * n as u32).delivered(),
+                    view.route(labels.id(a), labels.id(b), 4 * n as u32)
+                        .delivered(),
                     "seed {seed}: {} -> {} failed",
                     labels.id(a),
                     labels.id(b)
@@ -178,8 +183,10 @@ fn bootstrap_is_deterministic() {
         let mut rng = Rng::new(33);
         let (g, _) = generators::unit_disk_connected(25, 1.3, &mut rng);
         let labels = Labeling::random(25, &mut rng);
-        let mut cfg = BootstrapConfig::default();
-        cfg.seed = 99;
+        let cfg = BootstrapConfig {
+            seed: 99,
+            ..Default::default()
+        };
         let (report, _) = run_linearized_bootstrap(&g, &labels, &cfg);
         (report.ticks, report.total_messages, report.messages.clone())
     };
@@ -191,8 +198,10 @@ fn bootstrap_is_deterministic() {
 fn disconnected_graph_cannot_fully_converge() {
     let g = Graph::new(4); // four isolated nodes
     let labels = Labeling::sequential(4, 10);
-    let mut cfg = BootstrapConfig::default();
-    cfg.max_ticks = 2_000;
+    let cfg = BootstrapConfig {
+        max_ticks: 2_000,
+        ..Default::default()
+    };
     let (report, _) = run_linearized_bootstrap(&g, &labels, &cfg);
     assert!(!report.converged);
 }

@@ -1,0 +1,212 @@
+//! In-repo stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment cannot reach the crates.io registry, so this crate
+//! provides the macro/API subset `benches/micro.rs` uses: `criterion_group!`
+//! / `criterion_main!`, [`Criterion::bench_function`], benchmark groups,
+//! [`Bencher::iter`] and [`Bencher::iter_batched`]. Measurement is a simple
+//! best-of-samples wall-clock timer printed as `ns/iter` — adequate for
+//! relative comparisons, with none of criterion's statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How much setup output to keep per batch in [`Bencher::iter_batched`].
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small routine outputs: batches of many iterations.
+    SmallInput,
+    /// Large routine outputs: one iteration per batch.
+    LargeInput,
+}
+
+/// The benchmark driver handed to every registered function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` repeatedly and prints its timing under `name`.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lowers/raises the number of timing samples taken.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs `f` under `group/name`.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, name), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; runs the measured routine.
+pub struct Bencher {
+    /// Iterations per sample for the current calibration.
+    iters: u64,
+    /// Best observed nanoseconds per iteration.
+    best_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measures `routine` back to back.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.record(start.elapsed().as_nanos() as f64, self.iters);
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`, excluding setup
+    /// time per batch as well as possible (setup runs outside the timed
+    /// region; one input per iteration).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total_ns = 0f64;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total_ns += start.elapsed().as_nanos() as f64;
+        }
+        self.record(total_ns, self.iters);
+    }
+
+    fn record(&mut self, total_ns: f64, iters: u64) {
+        let per_iter = total_ns / iters.max(1) as f64;
+        if per_iter < self.best_ns_per_iter {
+            self.best_ns_per_iter = per_iter;
+        }
+    }
+}
+
+fn run_bench(name: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    // calibration: grow the iteration count until one sample takes ≥ ~5ms
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            best_ns_per_iter: f64::INFINITY,
+        };
+        let start = Instant::now();
+        f(&mut b);
+        if start.elapsed().as_millis() >= 5 || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+    let mut bench = Bencher {
+        iters,
+        best_ns_per_iter: f64::INFINITY,
+    };
+    for _ in 0..samples {
+        f(&mut bench);
+    }
+    let ns = bench.best_ns_per_iter;
+    if ns.is_finite() {
+        println!(
+            "{name:<40} {:>14} ns/iter (best of {samples} × {iters})",
+            format_ns(ns)
+        );
+    } else {
+        println!("{name:<40} (no measurement)");
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 100.0 {
+        format!("{:.0}", ns)
+    } else {
+        format!("{:.2}", ns)
+    }
+}
+
+/// Registers benchmark functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the registered groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_and_batched() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

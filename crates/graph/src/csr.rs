@@ -86,7 +86,10 @@ mod tests {
         for u in 0..5 {
             assert_eq!(csr.degree(u), g.degree(u));
             assert_eq!(
-                csr.neighbors(u).iter().map(|&v| v as usize).collect::<Vec<_>>(),
+                csr.neighbors(u)
+                    .iter()
+                    .map(|&v| v as usize)
+                    .collect::<Vec<_>>(),
                 g.neighbors(u).collect::<Vec<_>>()
             );
         }

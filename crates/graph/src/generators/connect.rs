@@ -26,8 +26,8 @@ pub fn ensure_connected(g: &mut Graph, rng: &mut Rng) -> usize {
         // Pick one representative per component, shuffle, and chain them.
         let mut reps: Vec<usize> = Vec::with_capacity(count);
         let mut seen = std::collections::HashSet::with_capacity(count);
-        for u in 0..n {
-            if seen.insert(label[u]) {
+        for (u, &lab) in label.iter().enumerate() {
+            if seen.insert(lab) {
                 reps.push(u);
             }
         }
@@ -70,7 +70,10 @@ mod tests {
         let mut g = Graph::new(10);
         let added = ensure_connected(&mut g, &mut Rng::new(2));
         assert!(algo::is_connected(&g));
-        assert_eq!(added, 9, "a spanning structure over 10 singletons needs 9 edges");
+        assert_eq!(
+            added, 9,
+            "a spanning structure over 10 singletons needs 9 edges"
+        );
     }
 
     #[test]

@@ -73,7 +73,9 @@ pub fn powerlaw_configuration(
         .max(min_deg);
 
     // Inverse-CDF table over k = min_deg ..= max_deg.
-    let weights: Vec<f64> = (min_deg..=max_deg).map(|k| (k as f64).powf(-alpha)).collect();
+    let weights: Vec<f64> = (min_deg..=max_deg)
+        .map(|k| (k as f64).powf(-alpha))
+        .collect();
     let total: f64 = weights.iter().sum();
     let mut cdf = Vec::with_capacity(weights.len());
     let mut acc = 0.0;

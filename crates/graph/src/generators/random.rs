@@ -114,7 +114,10 @@ mod tests {
         let p = 0.05;
         let m = gnp(n, p, &mut rng).edge_count() as f64;
         let expected = p * (n * (n - 1) / 2) as f64; // 3990
-        assert!((m - expected).abs() < 0.15 * expected, "m = {m}, expected ~{expected}");
+        assert!(
+            (m - expected).abs() < 0.15 * expected,
+            "m = {m}, expected ~{expected}"
+        );
     }
 
     #[test]

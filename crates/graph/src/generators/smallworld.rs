@@ -81,7 +81,10 @@ mod tests {
         let d0 = algo::diameter_exact(&lattice).unwrap();
         let d1 = algo::diameter_double_sweep(&small_world, 0);
         assert!(algo::is_connected(&small_world));
-        assert!(d1.unwrap() < d0, "small world {d1:?} not below lattice {d0}");
+        assert!(
+            d1.unwrap() < d0,
+            "small world {d1:?} not below lattice {d0}"
+        );
     }
 
     #[test]

@@ -50,7 +50,10 @@ impl Graph {
     /// Panics on self-loops or out-of-range endpoints.
     pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
         assert!(u != v, "self-loop {u}");
-        assert!(u < self.adj.len() && v < self.adj.len(), "edge ({u},{v}) out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "edge ({u},{v}) out of range"
+        );
         let fresh = self.adj[u].insert(v as u32);
         self.adj[v].insert(u as u32);
         fresh

@@ -365,7 +365,11 @@ mod tests {
         generators::ensure_connected(&mut g, &mut rng);
         let r = run(&g, Variant::Memory, Semantics::Star, 500);
         for s in &r.rounds[1..] {
-            assert_eq!(s.removed, 0, "memory variant removed edges at round {}", s.round);
+            assert_eq!(
+                s.removed, 0,
+                "memory variant removed edges at round {}",
+                s.round
+            );
         }
         // the input edges are all still there
         for (u, v) in g.edges() {

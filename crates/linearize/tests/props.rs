@@ -6,9 +6,7 @@
 
 use proptest::prelude::*;
 use ssr_graph::{algo, generators, Graph};
-use ssr_linearize::{
-    chain_edges_present, is_exact_chain, run, step_round, Semantics, Variant,
-};
+use ssr_linearize::{chain_edges_present, is_exact_chain, run, step_round, Semantics, Variant};
 use ssr_types::Rng;
 
 /// Strategy: an arbitrary *connected* graph on 2..max_n nodes.

@@ -1,0 +1,176 @@
+//! The `obs` CLI: summarize a manifest, diff two manifests, or
+//! pretty-print/filter a JSONL trace.
+
+use std::process::ExitCode;
+
+use ssr_obs::report::{diff, format_trace_line, summarize, TraceFilter};
+use ssr_obs::{parse, Value};
+
+const USAGE: &str = "\
+usage:
+  obs summarize <manifest.json>
+  obs diff <a.manifest.json> <b.manifest.json>
+  obs trace <trace.jsonl> [--ev KIND] [--node N] [--since T] [--until T]
+
+subcommands:
+  summarize   one-screen view of a run manifest (counters, histogram
+              percentiles, condensed convergence timeline)
+  diff        counter deltas, histogram percentile shifts, and
+              convergence-time regressions between two manifests
+  trace       human-readable, filterable view of a JSONL trace file
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("obs: {msg}");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("summarize") => {
+            let path = args.get(1).ok_or("summarize needs a manifest path")?;
+            Ok(summarize(&load_json(path)?))
+        }
+        Some("diff") => {
+            let a = args.get(1).ok_or("diff needs two manifest paths")?;
+            let b = args.get(2).ok_or("diff needs two manifest paths")?;
+            Ok(diff(&load_json(a)?, &load_json(b)?))
+        }
+        Some("trace") => {
+            let path = args.get(1).ok_or("trace needs a JSONL path")?;
+            let filter = trace_filter(&args[2..])?;
+            trace_report(path, &filter)
+        }
+        Some(other) => Err(format!("unknown subcommand '{other}'")),
+        None => Err("no subcommand".to_string()),
+    }
+}
+
+fn load_json(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn trace_filter(rest: &[String]) -> Result<TraceFilter, String> {
+    let mut filter = TraceFilter::default();
+    let mut i = 0;
+    while i < rest.len() {
+        let flag = rest[i].as_str();
+        let value = rest
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        let parse_u64 = |v: &String| v.parse::<u64>().map_err(|e| format!("{flag} {v}: {e}"));
+        match flag {
+            "--ev" => filter.ev = Some(value.clone()),
+            "--node" => filter.node = Some(parse_u64(value)?),
+            "--since" => filter.since = Some(parse_u64(value)?),
+            "--until" => filter.until = Some(parse_u64(value)?),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 2;
+    }
+    Ok(filter)
+}
+
+fn trace_report(path: &str, filter: &TraceFilter) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = String::new();
+    let mut shown = 0usize;
+    let mut total = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        total += 1;
+        let rec = parse(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        if filter.matches(&rec) {
+            out.push_str(&format_trace_line(&rec));
+            out.push('\n');
+            shown += 1;
+        }
+    }
+    out.push_str(&format!("({shown} of {total} events shown)\n"));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_errors() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["bogus".into()]).is_err());
+        assert!(run(&["summarize".into()]).is_err());
+        assert!(run(&["diff".into(), "only-one".into()]).is_err());
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let f = trace_filter(&[
+            "--ev".into(),
+            "send".into(),
+            "--node".into(),
+            "3".into(),
+            "--since".into(),
+            "10".into(),
+            "--until".into(),
+            "20".into(),
+        ])
+        .unwrap();
+        assert_eq!(f.ev.as_deref(), Some("send"));
+        assert_eq!(f.node, Some(3));
+        assert_eq!(f.since, Some(10));
+        assert_eq!(f.until, Some(20));
+        assert!(trace_filter(&["--ev".into()]).is_err());
+        assert!(trace_filter(&["--wat".into(), "1".into()]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_over_files() {
+        let dir = std::env::temp_dir().join("ssr_obs_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.jsonl");
+        std::fs::write(
+            &trace_path,
+            "{\"ev\":\"send\",\"at\":1,\"from\":0,\"to\":1,\"kind\":\"notify\"}\n\
+             {\"ev\":\"lost\",\"at\":2,\"from\":0,\"to\":1,\"reason\":\"link-drop\"}\n",
+        )
+        .unwrap();
+        let all = run(&["trace".into(), trace_path.display().to_string()]).unwrap();
+        assert!(all.contains("2 of 2"));
+        let sends = run(&[
+            "trace".into(),
+            trace_path.display().to_string(),
+            "--ev".into(),
+            "send".into(),
+        ])
+        .unwrap();
+        assert!(sends.contains("1 of 2"));
+        assert!(!sends.contains("link-drop"));
+
+        let mut man = ssr_obs::Manifest::new("cli_test");
+        man.seed(3);
+        let man_path = dir.join("m.json");
+        man.write_to(&man_path).unwrap();
+        let s = run(&["summarize".into(), man_path.display().to_string()]).unwrap();
+        assert!(s.contains("cli_test"));
+        let d = run(&[
+            "diff".into(),
+            man_path.display().to_string(),
+            man_path.display().to_string(),
+        ])
+        .unwrap();
+        assert!(d.contains("no differences"));
+    }
+}

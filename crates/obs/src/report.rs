@@ -1,0 +1,447 @@
+//! Human-facing views over manifests and JSONL traces: `obs summarize`,
+//! `obs diff`, and `obs trace` are thin wrappers over these functions, so
+//! the formatting logic is unit-testable.
+
+use std::fmt::Write as _;
+
+use crate::json::Value;
+
+/// Percentiles reported by summaries and diffs.
+const PERCENTILES: [&str; 3] = ["p50", "p90", "p99"];
+
+/// First timeline tick whose shape is `consistent-ring`, if any.
+pub fn time_to_consistency(manifest: &Value) -> Option<u64> {
+    manifest
+        .get("timeline")?
+        .as_arr()?
+        .iter()
+        .find(|p| p.get("shape").and_then(|s| s.as_str()) == Some("consistent-ring"))
+        .and_then(|p| p.get("tick"))
+        .and_then(|t| t.as_u64())
+}
+
+/// One-screen summary of a manifest.
+pub fn summarize(manifest: &Value) -> String {
+    let mut out = String::new();
+    let field = |k: &str| -> String {
+        manifest
+            .get(k)
+            .map(|v| match v {
+                Value::Str(s) => s.clone(),
+                other => other.to_json(),
+            })
+            .unwrap_or_else(|| "-".to_string())
+    };
+    let _ = writeln!(out, "experiment : {}", field("exp"));
+    let _ = writeln!(out, "schema     : {}", field("schema"));
+    let _ = writeln!(out, "git        : {}", field("git"));
+    let _ = writeln!(out, "seed       : {}", field("seed"));
+    let _ = writeln!(out, "wall_ms    : {}", field("wall_ms"));
+    if let Some(cfg) = manifest.get("config").and_then(|c| c.as_obj()) {
+        if !cfg.is_empty() {
+            let kv: Vec<String> = cfg
+                .iter()
+                .map(|(k, v)| format!("{k}={}", v.as_str().unwrap_or("?")))
+                .collect();
+            let _ = writeln!(out, "config     : {}", kv.join(" "));
+        }
+    }
+    if let Some(counters) = manifest.get("counters").and_then(|c| c.as_obj()) {
+        let _ = writeln!(out, "\ncounters ({}):", counters.len());
+        for (k, v) in counters {
+            let _ = writeln!(out, "  {k:<28} {}", v.to_json());
+        }
+    }
+    if let Some(hists) = manifest.get("hists").and_then(|h| h.as_obj()) {
+        if !hists.is_empty() {
+            let _ = writeln!(out, "\nhistograms:");
+            for (k, h) in hists {
+                let g = |f: &str| h.get(f).map(|v| v.to_json()).unwrap_or("-".into());
+                let _ = writeln!(
+                    out,
+                    "  {k:<22} n={:<8} min={:<6} p50={:<6} p90={:<6} p99={:<6} max={}",
+                    g("count"),
+                    g("min"),
+                    g("p50"),
+                    g("p90"),
+                    g("p99"),
+                    g("max"),
+                );
+            }
+        }
+    }
+    if let Some(timeline) = manifest.get("timeline").and_then(|t| t.as_arr()) {
+        if !timeline.is_empty() {
+            let _ = writeln!(out, "\nconvergence timeline ({} samples):", timeline.len());
+            for p in condensed_timeline(timeline) {
+                let _ = writeln!(out, "  {p}");
+            }
+            match time_to_consistency(manifest) {
+                Some(t) => {
+                    let _ = writeln!(out, "time to consistent-ring: {t}");
+                }
+                None => {
+                    let _ = writeln!(out, "time to consistent-ring: never");
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Collapses a timeline to its shape-change points (plus the final sample),
+/// rendered one per line.
+fn condensed_timeline(timeline: &[Value]) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut last_shape: Option<&str> = None;
+    for (i, p) in timeline.iter().enumerate() {
+        let shape = p.get("shape").and_then(|s| s.as_str()).unwrap_or("?");
+        let is_last = i == timeline.len() - 1;
+        if last_shape == Some(shape) && !is_last {
+            continue;
+        }
+        last_shape = Some(shape);
+        let num = |k: &str| {
+            p.get(k)
+                .and_then(|v| v.as_u64())
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "?".into())
+        };
+        lines.push(format!(
+            "t={:<8} {:<18} local={}/{} churn={}",
+            num("tick"),
+            shape,
+            num("locally_consistent"),
+            num("nodes"),
+            num("churn"),
+        ));
+    }
+    lines
+}
+
+/// Diff of two manifests: counter deltas, histogram percentile shifts, and
+/// convergence-time regressions. Returns a report; identical manifests
+/// produce "no differences".
+pub fn diff(a: &Value, b: &Value) -> String {
+    let mut out = String::new();
+    let name = |m: &Value| {
+        m.get("exp")
+            .and_then(|e| e.as_str())
+            .unwrap_or("?")
+            .to_string()
+    };
+    let seed = |m: &Value| {
+        m.get("seed")
+            .and_then(|s| s.as_u64())
+            .map(|s| format!(" (seed {s})"))
+            .unwrap_or_default()
+    };
+    let _ = writeln!(out, "A: {}{}", name(a), seed(a));
+    let _ = writeln!(out, "B: {}{}", name(b), seed(b));
+    let mut differences = 0usize;
+
+    // --- counters --------------------------------------------------------
+    let counters = |m: &Value| -> Vec<(String, u64)> {
+        m.get("counters")
+            .and_then(|c| c.as_obj())
+            .map(|o| {
+                o.iter()
+                    .filter_map(|(k, v)| v.as_u64().map(|v| (k.clone(), v)))
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let ca = counters(a);
+    let cb = counters(b);
+    let mut keys: Vec<&String> = ca.iter().chain(cb.iter()).map(|(k, _)| k).collect();
+    keys.sort();
+    keys.dedup();
+    let mut counter_lines = Vec::new();
+    for k in keys {
+        let va = ca
+            .iter()
+            .find(|(n, _)| n == k)
+            .map(|&(_, v)| v)
+            .unwrap_or(0);
+        let vb = cb
+            .iter()
+            .find(|(n, _)| n == k)
+            .map(|&(_, v)| v)
+            .unwrap_or(0);
+        if va != vb {
+            counter_lines.push(format!("  {k:<28} {va} -> {vb}  ({})", delta(va, vb)));
+        }
+    }
+    if !counter_lines.is_empty() {
+        differences += counter_lines.len();
+        let _ = writeln!(out, "\ncounter deltas:");
+        for l in counter_lines {
+            let _ = writeln!(out, "{l}");
+        }
+    }
+
+    // --- histogram percentiles -------------------------------------------
+    let hist_keys = |m: &Value| -> Vec<String> {
+        m.get("hists")
+            .and_then(|h| h.as_obj())
+            .map(|o| o.iter().map(|(k, _)| k.clone()).collect())
+            .unwrap_or_default()
+    };
+    let mut hkeys = hist_keys(a);
+    hkeys.extend(hist_keys(b));
+    hkeys.sort();
+    hkeys.dedup();
+    let mut hist_lines = Vec::new();
+    for k in &hkeys {
+        let mut shifts = Vec::new();
+        for p in PERCENTILES {
+            let get = |m: &Value| {
+                m.get("hists")
+                    .and_then(|h| h.get(k))
+                    .and_then(|h| h.get(p))
+                    .and_then(|v| v.as_u64())
+            };
+            match (get(a), get(b)) {
+                (Some(x), Some(y)) if x != y => shifts.push(format!("{p} {x} -> {y}")),
+                (Some(x), None) => shifts.push(format!("{p} {x} -> -")),
+                (None, Some(y)) => shifts.push(format!("{p} - -> {y}")),
+                _ => {}
+            }
+        }
+        if !shifts.is_empty() {
+            hist_lines.push(format!("  {k:<22} {}", shifts.join(", ")));
+        }
+    }
+    if !hist_lines.is_empty() {
+        differences += hist_lines.len();
+        let _ = writeln!(out, "\nhistogram percentile shifts:");
+        for l in hist_lines {
+            let _ = writeln!(out, "{l}");
+        }
+    }
+
+    // --- convergence time -------------------------------------------------
+    let ta = time_to_consistency(a);
+    let tb = time_to_consistency(b);
+    if ta != tb {
+        differences += 1;
+        let show = |t: Option<u64>| t.map(|t| t.to_string()).unwrap_or_else(|| "never".into());
+        let regression = match (ta, tb) {
+            (Some(x), Some(y)) if y > x => "  ** regression **",
+            (Some(_), None) => "  ** regression (no longer converges) **",
+            _ => "",
+        };
+        let _ = writeln!(
+            out,
+            "\ntime to consistent-ring: {} -> {}{}",
+            show(ta),
+            show(tb),
+            regression
+        );
+    }
+
+    if differences == 0 {
+        let _ = writeln!(out, "\nno differences");
+    }
+    out
+}
+
+fn delta(a: u64, b: u64) -> String {
+    let d = b as i128 - a as i128;
+    let sign = if d >= 0 { "+" } else { "" };
+    if a == 0 {
+        format!("{sign}{d}")
+    } else {
+        format!("{sign}{d}, {sign}{:.1}%", d as f64 * 100.0 / a as f64)
+    }
+}
+
+/// Predicate set for `obs trace` filtering.
+#[derive(Clone, Debug, Default)]
+pub struct TraceFilter {
+    /// Keep only records with this `ev` (e.g. `send`).
+    pub ev: Option<String>,
+    /// Keep only records touching this node (as `from`, `to`, or `node`).
+    pub node: Option<u64>,
+    /// Keep only records at `at >= since`.
+    pub since: Option<u64>,
+    /// Keep only records at `at <= until`.
+    pub until: Option<u64>,
+}
+
+impl TraceFilter {
+    /// Whether a parsed trace record passes the filter.
+    pub fn matches(&self, rec: &Value) -> bool {
+        if let Some(want) = &self.ev {
+            if rec.get("ev").and_then(|e| e.as_str()) != Some(want.as_str()) {
+                return false;
+            }
+        }
+        let at = rec.get("at").and_then(|a| a.as_u64());
+        if let Some(since) = self.since {
+            if at.is_none_or(|t| t < since) {
+                return false;
+            }
+        }
+        if let Some(until) = self.until {
+            if at.is_none_or(|t| t > until) {
+                return false;
+            }
+        }
+        if let Some(node) = self.node {
+            let touches = ["from", "to", "node"]
+                .iter()
+                .any(|k| rec.get(k).and_then(|v| v.as_u64()) == Some(node));
+            if !touches {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Renders one parsed JSONL trace record as an aligned, human-readable line.
+pub fn format_trace_line(rec: &Value) -> String {
+    let ev = rec.get("ev").and_then(|e| e.as_str()).unwrap_or("?");
+    let at = rec.get("at").and_then(|a| a.as_u64()).unwrap_or(0);
+    let num = |k: &str| rec.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+    let text = |k: &str| {
+        rec.get(k)
+            .and_then(|v| v.as_str())
+            .unwrap_or("")
+            .to_string()
+    };
+    match ev {
+        "send" | "deliver" => format!(
+            "[{at:>8}] {ev:<8} {:>4} -> {:<4} kind={}",
+            num("from"),
+            num("to"),
+            text("kind")
+        ),
+        "lost" => format!(
+            "[{at:>8}] {ev:<8} {:>4} -> {:<4} reason={}",
+            num("from"),
+            num("to"),
+            text("reason")
+        ),
+        "fault" => format!("[{at:>8}] {ev:<8} {}", text("desc")),
+        "note" => format!("[{at:>8}] {ev:<8} node {}: {}", num("node"), text("text")),
+        other => format!("[{at:>8}] {other} {}", rec.to_json()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::manifest::{Manifest, TimelinePoint};
+
+    fn manifest_with(seed: u64, tx: u64, route_p50_source: u64, converge_at: u64) -> Value {
+        let mut metrics = ssr_sim::Metrics::new();
+        metrics.add("tx.total", tx);
+        metrics.add("msg.notify", tx);
+        for i in 0..20 {
+            metrics.observe_hist("route.len", route_p50_source + i % 3);
+        }
+        let mut man = Manifest::new("exp_test");
+        man.seed(seed).config("n", 64).record_metrics(&metrics);
+        man.timeline_point(TimelinePoint {
+            tick: 0,
+            shape: "incomplete".into(),
+            locally_consistent: 0,
+            nodes: 64,
+            churn: 0,
+        });
+        man.timeline_point(TimelinePoint {
+            tick: converge_at,
+            shape: "consistent-ring".into(),
+            locally_consistent: 64,
+            nodes: 64,
+            churn: 3,
+        });
+        parse(&man.to_json()).unwrap()
+    }
+
+    #[test]
+    fn summarize_shows_the_essentials() {
+        let m = manifest_with(1, 500, 4, 64);
+        let s = summarize(&m);
+        assert!(s.contains("experiment : exp_test"));
+        assert!(s.contains("seed       : 1"));
+        assert!(s.contains("tx.total"));
+        assert!(s.contains("route.len"));
+        assert!(s.contains("consistent-ring"));
+        assert!(s.contains("time to consistent-ring: 64"));
+    }
+
+    #[test]
+    fn diff_reports_deltas_and_regressions() {
+        let a = manifest_with(1, 500, 4, 64);
+        let b = manifest_with(2, 650, 4000, 96);
+        let d = diff(&a, &b);
+        assert!(d.contains("tx.total"), "{d}");
+        assert!(d.contains("500 -> 650"), "{d}");
+        assert!(d.contains("+150"), "{d}");
+        assert!(d.contains("route.len"), "{d}");
+        assert!(d.contains("time to consistent-ring: 64 -> 96"), "{d}");
+        assert!(d.contains("** regression **"), "{d}");
+    }
+
+    #[test]
+    fn diff_of_identical_manifests_is_clean() {
+        let a = manifest_with(1, 500, 4, 64);
+        let d = diff(&a, &a);
+        assert!(d.contains("no differences"), "{d}");
+    }
+
+    #[test]
+    fn time_to_consistency_handles_missing() {
+        let v = parse("{\"timeline\":[{\"tick\":5,\"shape\":\"loopy(2)\"}]}").unwrap();
+        assert_eq!(time_to_consistency(&v), None);
+        let v = parse("{}").unwrap();
+        assert_eq!(time_to_consistency(&v), None);
+    }
+
+    #[test]
+    fn trace_filter_and_formatting() {
+        let rec =
+            parse("{\"ev\":\"send\",\"at\":12,\"from\":1,\"to\":2,\"kind\":\"notify\"}").unwrap();
+        assert!(TraceFilter::default().matches(&rec));
+        assert!(TraceFilter {
+            ev: Some("send".into()),
+            ..Default::default()
+        }
+        .matches(&rec));
+        assert!(!TraceFilter {
+            ev: Some("lost".into()),
+            ..Default::default()
+        }
+        .matches(&rec));
+        assert!(TraceFilter {
+            node: Some(2),
+            ..Default::default()
+        }
+        .matches(&rec));
+        assert!(!TraceFilter {
+            node: Some(9),
+            ..Default::default()
+        }
+        .matches(&rec));
+        assert!(!TraceFilter {
+            since: Some(13),
+            ..Default::default()
+        }
+        .matches(&rec));
+        assert!(!TraceFilter {
+            until: Some(11),
+            ..Default::default()
+        }
+        .matches(&rec));
+        let line = format_trace_line(&rec);
+        assert!(line.contains("send"));
+        assert!(line.contains("1 -> 2"));
+        assert!(line.contains("kind=notify"));
+        let note = parse("{\"ev\":\"note\",\"at\":3,\"node\":7,\"text\":\"x\"}").unwrap();
+        assert!(format_trace_line(&note).contains("node 7: x"));
+    }
+}

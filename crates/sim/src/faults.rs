@@ -196,8 +196,7 @@ mod tests {
             poisson_crash_rejoin_trace(10, Time(0), Time(5000), 0.01, 1, |_| vec![], &mut rng)
                 .len();
         let fast =
-            poisson_crash_rejoin_trace(10, Time(0), Time(5000), 0.1, 1, |_| vec![], &mut rng)
-                .len();
+            poisson_crash_rejoin_trace(10, Time(0), Time(5000), 0.1, 1, |_| vec![], &mut rng).len();
         assert!(fast > 3 * slow, "fast {fast} vs slow {slow}");
     }
 }

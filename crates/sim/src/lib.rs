@@ -31,7 +31,7 @@ pub mod time;
 pub mod trace;
 
 pub use link::LinkConfig;
-pub use metrics::Metrics;
-pub use sim::{Ctx, Protocol, RunOutcome, Simulator};
+pub use metrics::{merge_series, Histogram, Metrics, SeriesPoint};
+pub use sim::{Ctx, ProbeView, Protocol, RunOutcome, Simulator};
 pub use time::Time;
 pub use trace::{TraceEvent, TraceSink};

@@ -62,7 +62,10 @@ impl LinkConfig {
 
     /// A lossy network with the given drop probability.
     pub fn lossy(drop_prob: f64) -> Self {
-        assert!((0.0..1.0).contains(&drop_prob), "drop probability must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&drop_prob),
+            "drop probability must be in [0,1)"
+        );
         LinkConfig {
             latency: Latency::Fixed(1),
             drop_prob,

@@ -1,13 +1,34 @@
-//! Simulation metrics.
+//! Simulation metrics: counters, gauges, log-bucketed histograms, and
+//! periodic time-series snapshots.
 //!
 //! Experiment E6 ("flooding cost") is a message-accounting experiment: it
 //! compares how many per-link transmissions each bootstrap mechanism needs,
 //! broken down by message kind. The simulator increments these counters on
-//! every hop; protocols can add their own counters and gauge samples.
+//! every hop; protocols can add their own counters, gauge samples, and
+//! histogram observations.
+//!
+//! # Canonical key namespaces
+//!
+//! This is the one place the metric-name contract is written down; the
+//! simulator, the protocol crates, and the `obs` tooling all follow it.
+//!
+//! | prefix     | written by      | meaning                                          |
+//! |------------|-----------------|--------------------------------------------------|
+//! | `tx.*`     | simulator       | link-layer transmission outcomes: `tx.total` (every hop handed to the link layer), `tx.dropped` (link loss), `tx.lost_in_flight` (endpoint died / link vanished mid-flight) |
+//! | `rx.*`     | simulator       | deliveries to protocols: `rx.total`              |
+//! | `msg.*`    | simulator       | per-kind transmission counts from [`crate::Protocol::kind`]; **`counter_sum("msg.")` always equals `tx.total`** (kinds are counted at transmit time, before loss sampling) |
+//! | `fault.*`  | simulator       | applied faults: `fault.crash`, `fault.join`, `fault.link_down`, `fault.link_up` |
+//! | `probe.*`  | probe layer     | observer-side counters (e.g. `probe.samples`)    |
+//! | other      | protocols/exps  | protocol- or experiment-specific counters, ideally `"<crate>."`-prefixed |
+//!
+//! Histogram keys live in their own registry with the same style; the
+//! conventional ones are `route.len` (physical hops), `route.stretch_milli`
+//! (stretch × 1000, so the log buckets resolve ratios near 1), `state.entries`
+//! (per-node state size), and `latency.ticks` (message latency).
 
 use std::collections::BTreeMap;
 
-/// Counter/gauge registry for one simulation run.
+/// Counter/gauge/histogram registry for one simulation run.
 ///
 /// Keys are static strings so that protocols can use literal message-kind
 /// names without allocation. A `BTreeMap` keeps report output sorted and
@@ -17,6 +38,10 @@ pub struct Metrics {
     counters: BTreeMap<&'static str, u64>,
     /// min/max/sum/count per gauge, enough for mean and extremes.
     gauges: BTreeMap<&'static str, GaugeStats>,
+    /// Log-bucketed value distributions.
+    hists: BTreeMap<&'static str, Histogram>,
+    /// Periodic counter/gauge snapshots (see [`Metrics::sample_series`]).
+    series: Vec<SeriesPoint>,
 }
 
 /// Aggregate statistics of a sampled gauge.
@@ -33,6 +58,13 @@ pub struct GaugeStats {
 }
 
 impl GaugeStats {
+    const EMPTY: GaugeStats = GaugeStats {
+        min: f64::INFINITY,
+        max: f64::NEG_INFINITY,
+        sum: 0.0,
+        count: 0,
+    };
+
     fn observe(&mut self, v: f64) {
         self.min = self.min.min(v);
         self.max = self.max.max(v);
@@ -48,6 +80,198 @@ impl GaugeStats {
             self.sum / self.count as f64
         }
     }
+}
+
+/// Number of buckets in a [`Histogram`]: one for zero plus one per bit
+/// length of a `u64`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` observations.
+///
+/// Bucket 0 holds the value 0; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i)`. Merging is bucketwise addition, so it is associative
+/// and commutative, and percentile estimates are exact up to bucket
+/// resolution (the estimate always lands in the same bucket as the
+/// nearest-rank exact percentile).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index `v` falls into.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// The half-open value range `[lo, hi)` of bucket `i` (bucket 0 is the
+    /// degenerate `[0, 1)`).
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        match i {
+            0 => (0, 1),
+            64 => (1 << 63, u64::MAX),
+            _ => (1 << (i - 1), 1 << i),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of the observations.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank percentile estimate for `q` in `[0, 100]`, reported as
+    /// the lower bound of the bucket holding the rank (clamped into the
+    /// observed `[min, max]` so single-bucket distributions report exact
+    /// extremes). `None` when the histogram is empty.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 100.0);
+        let rank = ((q / 100.0 * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (lo, _) = Self::bucket_bounds(i);
+                return Some(lo.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram into this one (bucketwise).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` with `[lo, hi)` value bounds.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bucket_bounds(i);
+                (lo, hi, c)
+            })
+    }
+}
+
+/// One periodic snapshot of all counters and gauge means.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeriesPoint {
+    /// Simulated time of the snapshot.
+    pub tick: u64,
+    /// All counters at that time, in sorted key order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// All gauge means at that time, in sorted key order.
+    pub gauges: Vec<(&'static str, f64)>,
+}
+
+/// One aligned point of a cross-run series merge: per-key mean over the
+/// runs that had a point at this index.
+#[derive(Clone, Debug)]
+pub struct MergedSeriesPoint {
+    /// Snapshot time (taken from the first run; equal across runs when all
+    /// were sampled at the same interval).
+    pub tick: u64,
+    /// Number of runs contributing to this point.
+    pub runs: u64,
+    /// Mean counter values across the contributing runs, sorted by key.
+    pub counters: Vec<(&'static str, f64)>,
+}
+
+/// Merges same-interval series from repeated runs (different seeds)
+/// pointwise: index `i` of the output averages index `i` of every input
+/// that is long enough. Deterministic — inputs and key sets are iterated in
+/// a fixed order.
+pub fn merge_series(runs: &[&[SeriesPoint]]) -> Vec<MergedSeriesPoint> {
+    let longest = runs.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut out = Vec::with_capacity(longest);
+    for i in 0..longest {
+        let mut acc: BTreeMap<&'static str, (f64, u64)> = BTreeMap::new();
+        let mut tick = 0u64;
+        let mut contributing = 0u64;
+        for run in runs {
+            let Some(p) = run.get(i) else { continue };
+            if contributing == 0 {
+                tick = p.tick;
+            }
+            contributing += 1;
+            for &(k, v) in &p.counters {
+                let e = acc.entry(k).or_insert((0.0, 0));
+                e.0 += v as f64;
+                e.1 += 1;
+            }
+        }
+        out.push(MergedSeriesPoint {
+            tick,
+            runs: contributing,
+            counters: acc
+                .into_iter()
+                .map(|(k, (sum, n))| (k, sum / n.max(1) as f64))
+                .collect(),
+        });
+    }
+    out
 }
 
 impl Metrics {
@@ -87,12 +311,7 @@ impl Metrics {
     pub fn observe(&mut self, key: &'static str, value: f64) {
         self.gauges
             .entry(key)
-            .or_insert(GaugeStats {
-                min: f64::INFINITY,
-                max: f64::NEG_INFINITY,
-                sum: 0.0,
-                count: 0,
-            })
+            .or_insert(GaugeStats::EMPTY)
             .observe(value);
     }
 
@@ -101,28 +320,69 @@ impl Metrics {
         self.gauges.get(key).copied()
     }
 
+    /// Records one histogram observation under `key`.
+    #[inline]
+    pub fn observe_hist(&mut self, key: &'static str, value: u64) {
+        self.hists.entry(key).or_default().observe(value);
+    }
+
+    /// The histogram under `key`, if any observations were recorded.
+    pub fn hist(&self, key: &str) -> Option<&Histogram> {
+        self.hists.get(key)
+    }
+
+    /// All histograms in sorted key order.
+    pub fn hists(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.hists.iter().map(|(&k, v)| (k, v))
+    }
+
     /// All counters in sorted key order.
     pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
         self.counters.iter().map(|(&k, &v)| (k, v))
     }
 
+    /// All gauges in sorted key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, GaugeStats)> + '_ {
+        self.gauges.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Appends a snapshot of every counter and gauge mean to the run's
+    /// time series. The simulator calls this on a fixed tick interval when
+    /// sampling is enabled (see `Simulator::sample_metrics_every`).
+    pub fn sample_series(&mut self, tick: u64) {
+        let counters: Vec<(&'static str, u64)> =
+            self.counters.iter().map(|(&k, &v)| (k, v)).collect();
+        let gauges: Vec<(&'static str, f64)> =
+            self.gauges.iter().map(|(&k, g)| (k, g.mean())).collect();
+        self.series.push(SeriesPoint {
+            tick,
+            counters,
+            gauges,
+        });
+    }
+
+    /// The recorded time series, in sampling order.
+    pub fn series(&self) -> &[SeriesPoint] {
+        &self.series
+    }
+
     /// Merges another registry into this one (used when aggregating
-    /// repeated runs).
+    /// repeated runs): counters and histogram buckets add, gauges combine.
+    /// Time series are **not** concatenated — cross-run series belong to
+    /// [`merge_series`], which aligns them by sample index instead.
     pub fn merge(&mut self, other: &Metrics) {
         for (k, v) in &other.counters {
             *self.counters.entry(k).or_insert(0) += v;
         }
         for (k, g) in &other.gauges {
-            let e = self.gauges.entry(k).or_insert(GaugeStats {
-                min: f64::INFINITY,
-                max: f64::NEG_INFINITY,
-                sum: 0.0,
-                count: 0,
-            });
+            let e = self.gauges.entry(k).or_insert(GaugeStats::EMPTY);
             e.min = e.min.min(g.min);
             e.max = e.max.max(g.max);
             e.sum += g.sum;
             e.count += g.count;
+        }
+        for (k, h) in &other.hists {
+            self.hists.entry(k).or_default().merge(h);
         }
     }
 }
@@ -169,14 +429,19 @@ mod tests {
         let mut a = Metrics::new();
         a.add("msg.x", 1);
         a.observe("g", 1.0);
+        a.observe_hist("h", 4);
         let mut b = Metrics::new();
         b.add("msg.x", 2);
         b.observe("g", 5.0);
+        b.observe_hist("h", 900);
         a.merge(&b);
         assert_eq!(a.counter("msg.x"), 3);
         let g = a.gauge("g").unwrap();
         assert_eq!(g.count, 2);
         assert_eq!(g.max, 5.0);
+        let h = a.hist("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(900));
     }
 
     #[test]
@@ -186,5 +451,94 @@ mod tests {
         m.incr("alpha");
         let keys: Vec<&str> = m.counters().map(|(k, _)| k).collect();
         assert_eq!(keys, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        for i in 0..HIST_BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert!(lo < hi.max(1));
+            assert_eq!(Histogram::bucket_index(lo), i);
+        }
+    }
+
+    #[test]
+    fn histogram_stats_and_percentiles() {
+        let mut h = Histogram::new();
+        assert!(h.percentile(50.0).is_none());
+        for v in [1u64, 2, 3, 4, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(100));
+        assert!((h.mean() - 22.0).abs() < 1e-12);
+        // ranks: p50 → 3rd smallest = 3, bucket [2,4) → lower bound 2
+        assert_eq!(h.percentile(50.0), Some(2));
+        // p100 → 100, bucket [64,128) → lower bound 64
+        assert_eq!(h.percentile(100.0), Some(64));
+        // p0 clamps to rank 1 → value 1
+        assert_eq!(h.percentile(0.0), Some(1));
+    }
+
+    #[test]
+    fn histogram_merge_matches_bulk() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in 0..100u64 {
+            if v % 2 == 0 {
+                a.observe(v * v);
+            } else {
+                b.observe(v * v);
+            }
+            all.observe(v * v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn series_snapshots_accumulate() {
+        let mut m = Metrics::new();
+        m.incr("tx.total");
+        m.sample_series(10);
+        m.add("tx.total", 4);
+        m.observe("g", 2.0);
+        m.sample_series(20);
+        let s = m.series();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].tick, 10);
+        assert_eq!(s[0].counters, vec![("tx.total", 1)]);
+        assert_eq!(s[1].counters, vec![("tx.total", 5)]);
+        assert_eq!(s[1].gauges, vec![("g", 2.0)]);
+    }
+
+    #[test]
+    fn merged_series_averages_pointwise() {
+        let run = |scale: u64| -> Vec<SeriesPoint> {
+            (1..=3)
+                .map(|i| SeriesPoint {
+                    tick: i * 10,
+                    counters: vec![("tx.total", i * scale)],
+                    gauges: vec![],
+                })
+                .collect()
+        };
+        let (a, b) = (run(2), run(4));
+        let merged = merge_series(&[&a, &b]);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[0].tick, 10);
+        assert_eq!(merged[0].runs, 2);
+        // means of (2,4), (4,8), (6,12)
+        assert_eq!(merged[0].counters, vec![("tx.total", 3.0)]);
+        assert_eq!(merged[2].counters, vec![("tx.total", 9.0)]);
     }
 }

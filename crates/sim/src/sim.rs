@@ -152,6 +152,36 @@ impl<'a, M> Ctx<'a, M> {
     }
 }
 
+/// A read-only snapshot of the simulation handed to [probes](Simulator::add_probe),
+/// plus mutable access to the metrics registry so probes can record
+/// gauges, histograms and series samples.
+pub struct ProbeView<'a, P: Protocol> {
+    /// Current simulated time.
+    pub now: Time,
+    /// Every node's protocol state, indexed by node.
+    pub protocols: &'a [P],
+    /// The physical topology (reflecting applied faults).
+    pub topology: &'a Graph,
+    /// Per-node liveness.
+    pub alive: &'a [bool],
+    /// The run's metrics registry (mutable: probes may record).
+    pub metrics: &'a mut Metrics,
+    /// Number of events still queued.
+    pub pending_events: usize,
+    /// Total events processed so far.
+    pub events_processed: u64,
+}
+
+/// A probe callback (boxed so heterogeneous observers can coexist).
+type ProbeFn<P> = Box<dyn FnMut(&mut ProbeView<'_, P>)>;
+
+/// A registered observer: fires every `every` ticks during the run loops.
+struct Probe<P: Protocol> {
+    every: u64,
+    next_at: Time,
+    f: ProbeFn<P>,
+}
+
 /// Why a run loop returned.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RunOutcome {
@@ -189,6 +219,7 @@ pub struct Simulator<P: Protocol> {
     nbr_buf: Vec<usize>,
     action_buf: Vec<Action<P::Msg>>,
     events_processed: u64,
+    probes: Vec<Probe<P>>,
 }
 
 impl<P: Protocol> Simulator<P> {
@@ -228,6 +259,7 @@ impl<P: Protocol> Simulator<P> {
             nbr_buf: Vec::new(),
             action_buf: Vec::new(),
             events_processed: 0,
+            probes: Vec::new(),
         };
         for node in 0..n {
             sim.dispatch(node, |p, ctx| p.on_init(ctx));
@@ -294,6 +326,74 @@ impl<P: Protocol> Simulator<P> {
         self.queue.push(at, EventKind::Fault(fault));
     }
 
+    /// Registers an observer invoked every `every` ticks during the
+    /// [`Simulator::run_until`]-family loops (first firing at the current
+    /// time). Probes see a consistent snapshot *between* events: every
+    /// event at a tick `< t` has been fully processed when a probe fires
+    /// at `t`, and none at `>= t` has. They run in registration order and
+    /// may record into the metrics registry, which makes them the hook for
+    /// convergence timelines (ring-shape classification, per-node churn).
+    ///
+    /// Single [`Simulator::step`] calls do **not** fire probes.
+    ///
+    /// # Panics
+    /// Panics if `every == 0`.
+    pub fn add_probe(&mut self, every: u64, f: impl FnMut(&mut ProbeView<'_, P>) + 'static) {
+        assert!(every > 0, "probe interval must be positive");
+        self.probes.push(Probe {
+            every,
+            next_at: self.now,
+            f: Box::new(f),
+        });
+    }
+
+    /// Registers a built-in probe that snapshots all counters and gauges
+    /// into the metrics time series every `every` ticks (see
+    /// [`Metrics::sample_series`]).
+    ///
+    /// # Panics
+    /// Panics if `every == 0`.
+    pub fn sample_metrics_every(&mut self, every: u64) {
+        self.add_probe(every, |view| {
+            let tick = view.now.ticks();
+            view.metrics.sample_series(tick);
+        });
+    }
+
+    /// Earliest pending probe deadline, if any probes are registered.
+    fn next_probe_due(&self) -> Option<Time> {
+        self.probes.iter().map(|p| p.next_at).min()
+    }
+
+    /// Fires every probe whose deadline has passed, then re-arms it on its
+    /// own `every`-grid strictly after `now`.
+    fn fire_due_probes(&mut self) {
+        if self.probes.is_empty() {
+            return;
+        }
+        let mut probes = std::mem::take(&mut self.probes);
+        for probe in probes.iter_mut() {
+            if probe.next_at > self.now {
+                continue;
+            }
+            let mut view = ProbeView {
+                now: self.now,
+                protocols: &self.protocols,
+                topology: &self.topo,
+                alive: &self.alive,
+                metrics: &mut self.metrics,
+                pending_events: self.queue.len(),
+                events_processed: self.events_processed,
+            };
+            (probe.f)(&mut view);
+            while probe.next_at <= self.now {
+                probe.next_at += probe.every;
+            }
+        }
+        debug_assert!(self.probes.is_empty(), "probe registered a probe");
+        self.probes = probes;
+    }
+
     /// Processes a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         let Some(ev) = self.queue.pop() else {
@@ -315,8 +415,26 @@ impl<P: Protocol> Simulator<P> {
     }
 
     /// Runs until the queue drains or simulated time reaches `deadline`.
+    /// Registered probes fire on their tick grids, interleaved with event
+    /// processing in deterministic order (all events strictly before a
+    /// probe's deadline run first).
     pub fn run_until(&mut self, deadline: Time) -> RunOutcome {
         loop {
+            // Fire any probe due before (or at the same tick as) the next
+            // event, so probes observe the state *at* their deadline. Once
+            // the queue drains nothing can change, so only already-due
+            // probes fire — the clock does not advance on empty ticks.
+            if let Some(due) = self.next_probe_due() {
+                let gate = match self.queue.peek_time() {
+                    Some(t) => t.min(deadline),
+                    None => self.now,
+                };
+                if due <= gate {
+                    self.now = due.max(self.now);
+                    self.fire_due_probes();
+                    continue;
+                }
+            }
             match self.queue.peek_time() {
                 None => return RunOutcome::Quiescent(self.now),
                 Some(t) if t > deadline => {
@@ -391,7 +509,8 @@ impl<P: Protocol> Simulator<P> {
             match action {
                 Action::Send { to, msg } => self.transmit(node, to, msg),
                 Action::Timer { delay, token } => {
-                    self.queue.push(self.now + delay, EventKind::Timer { node, token });
+                    self.queue
+                        .push(self.now + delay, EventKind::Timer { node, token });
                 }
             }
         }
@@ -425,8 +544,11 @@ impl<P: Protocol> Simulator<P> {
             return;
         }
         let latency = self.cfg.latency.sample(&mut self.rng);
-        self.queue
-            .push(self.now + latency, EventKind::Deliver { dst: to, from, msg });
+        self.metrics.observe_hist("latency.ticks", latency);
+        self.queue.push(
+            self.now + latency,
+            EventKind::Deliver { dst: to, from, msg },
+        );
     }
 
     /// Delivery-time checks: the receiver must still be alive and the link
@@ -658,10 +780,103 @@ mod tests {
                 trace.clone(),
             );
             sim.run_to_quiescence(10_000);
-            trace.snapshot()
+            // drain, don't clone: the trace is consumed exactly once
+            trace.take()
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
+    }
+
+    /// Canonical-namespace invariant (see the metrics module doc): every
+    /// link-layer transmission is counted under exactly one `msg.<kind>`
+    /// key *before* loss sampling, so the `msg.` sum always equals
+    /// `tx.total` — even on lossy links.
+    #[test]
+    fn msg_namespace_sums_to_tx_total() {
+        let topo = generators::complete(8);
+        let protocols: Vec<Flood> = (0..8)
+            .map(|u| Flood {
+                seen: false,
+                first_hops: None,
+                origin: u == 0,
+            })
+            .collect();
+        let mut sim = Simulator::new(topo, protocols, LinkConfig::lossy(0.3), 21);
+        sim.run_to_quiescence(10_000);
+        let m = sim.metrics();
+        assert!(m.counter("tx.dropped") > 0, "want losses in this run");
+        assert_eq!(m.counter_sum("msg."), m.counter("tx.total"));
+    }
+
+    #[test]
+    fn probes_fire_on_their_grid_and_see_consistent_state() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let mut sim = flood_sim(10, 6);
+        let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+        let log2 = Rc::clone(&log);
+        sim.add_probe(2, move |view| {
+            let reached = view.protocols.iter().filter(|p| p.seen).count();
+            log2.borrow_mut().push((view.now.ticks(), reached));
+        });
+        sim.run_to_quiescence(1_000);
+        let log = log.borrow();
+        // fires at 0, 2, 4, ... while events remain
+        assert!(log.len() >= 3, "probe fired {} times", log.len());
+        for (i, &(tick, _)) in log.iter().enumerate() {
+            assert_eq!(tick, 2 * i as u64);
+        }
+        // monotone spread, ending with everyone reached
+        for w in log.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(log.last().unwrap().1, 10);
+    }
+
+    #[test]
+    fn probes_can_record_metrics_and_stop_at_quiescence() {
+        let mut sim = flood_sim(6, 12);
+        sim.add_probe(1, |view| {
+            view.metrics.incr("probe.fired");
+            view.metrics
+                .observe_hist("probe.pending", view.pending_events as u64);
+        });
+        let outcome = sim.run_to_quiescence(1_000);
+        assert!(outcome.is_quiescent());
+        let fired = sim.metrics().counter("probe.fired");
+        assert!(fired > 0);
+        // the probe grid must not run past quiescence to the deadline
+        assert!(fired < 100, "probe kept firing after quiescence: {fired}");
+        assert_eq!(sim.metrics().hist("probe.pending").unwrap().count(), fired);
+    }
+
+    #[test]
+    fn series_sampling_records_counter_growth() {
+        let mut sim = flood_sim(10, 13);
+        sim.sample_metrics_every(2);
+        sim.run_to_quiescence(1_000);
+        let series = sim.metrics().series();
+        assert!(series.len() >= 3);
+        assert_eq!(series[0].tick, 0);
+        assert_eq!(series[1].tick, 2);
+        let tx_at = |p: &crate::metrics::SeriesPoint| {
+            p.counters
+                .iter()
+                .find(|(k, _)| *k == "tx.total")
+                .map(|&(_, v)| v)
+                .unwrap_or(0)
+        };
+        let first = tx_at(&series[0]);
+        let last = tx_at(series.last().unwrap());
+        assert!(last > first, "tx.total should grow over the run");
+        assert_eq!(last, sim.metrics().counter("tx.total"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_probe_interval_panics() {
+        let mut sim = flood_sim(3, 1);
+        sim.add_probe(0, |_| {});
     }
 
     #[test]
@@ -688,7 +903,13 @@ mod tests {
         // node 3 must not have flooded on
         assert!(!sim.is_alive(3));
         // rejoin with its old links
-        sim.schedule_fault(Time(100), Fault::Join { node: 3, links: vec![2, 4] });
+        sim.schedule_fault(
+            Time(100),
+            Fault::Join {
+                node: 3,
+                links: vec![2, 4],
+            },
+        );
         sim.run_to_quiescence(1_000);
         assert!(sim.is_alive(3));
         assert!(sim.topology().has_edge(3, 2));

@@ -1,13 +1,29 @@
-//! Optional execution tracing.
+//! Optional execution tracing with pluggable sinks.
 //!
 //! The figure binaries (E1–E3) print step-by-step protocol behaviour; the
 //! determinism integration test asserts that two runs with the same seed
 //! produce byte-identical traces. Tracing is off by default and costs one
 //! branch per event when disabled.
+//!
+//! Three recording backends are available:
+//!
+//! * [`TraceSink::memory`] — unbounded in-memory buffer (tests, short
+//!   figure runs);
+//! * [`TraceSink::ring`] — bounded ring buffer keeping the **last** `cap`
+//!   events (long runs where only the tail matters);
+//! * [`TraceSink::jsonl_file`] — streaming JSON-Lines file sink with a
+//!   stable, hand-rolled schema (see [`event_to_jsonl`]) for offline
+//!   analysis with the `obs` CLI.
+//!
+//! In-memory sinks support non-destructive [`TraceSink::snapshot`] and
+//! draining [`TraceSink::take`]; prefer `take` when the events are consumed
+//! exactly once — it moves the buffer out instead of cloning it.
 
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 use crate::time::Time;
 
@@ -65,55 +81,216 @@ pub enum TraceEvent {
     },
 }
 
+/// Serializes one event as a JSON-Lines record (no trailing newline).
+///
+/// The field names are a stable contract consumed by `obs trace`:
+/// every record has `"ev"` (`send` / `deliver` / `lost` / `fault` / `note`)
+/// and `"at"`; message events add `"from"`, `"to"` and `"kind"` or
+/// `"reason"`; faults add `"desc"`; notes add `"node"` and `"text"`.
+pub fn event_to_jsonl(ev: &TraceEvent) -> String {
+    match ev {
+        TraceEvent::Send { at, from, to, kind } => format!(
+            "{{\"ev\":\"send\",\"at\":{},\"from\":{from},\"to\":{to},\"kind\":\"{kind}\"}}",
+            at.ticks()
+        ),
+        TraceEvent::Deliver { at, from, to, kind } => format!(
+            "{{\"ev\":\"deliver\",\"at\":{},\"from\":{from},\"to\":{to},\"kind\":\"{kind}\"}}",
+            at.ticks()
+        ),
+        TraceEvent::Lost {
+            at,
+            from,
+            to,
+            reason,
+        } => format!(
+            "{{\"ev\":\"lost\",\"at\":{},\"from\":{from},\"to\":{to},\"reason\":\"{reason}\"}}",
+            at.ticks()
+        ),
+        TraceEvent::Fault { at, desc } => format!(
+            "{{\"ev\":\"fault\",\"at\":{},\"desc\":\"{}\"}}",
+            at.ticks(),
+            escape_json(desc)
+        ),
+        TraceEvent::Note { at, node, text } => format!(
+            "{{\"ev\":\"note\",\"at\":{},\"node\":{node},\"text\":\"{}\"}}",
+            at.ticks(),
+            escape_json(text)
+        ),
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+enum Backend {
+    Memory(Vec<TraceEvent>),
+    Ring {
+        buf: VecDeque<TraceEvent>,
+        cap: usize,
+        dropped: u64,
+    },
+    Jsonl {
+        out: BufWriter<File>,
+        path: PathBuf,
+        written: u64,
+    },
+}
+
 /// Where trace events go.
 #[derive(Clone, Default)]
 pub struct TraceSink {
-    buffer: Option<Arc<Mutex<Vec<TraceEvent>>>>,
+    backend: Option<Arc<Mutex<Backend>>>,
 }
 
 impl TraceSink {
     /// A sink that discards everything (the default).
     pub fn disabled() -> Self {
-        TraceSink { buffer: None }
+        TraceSink { backend: None }
     }
 
-    /// A sink that records into a shared in-memory buffer.
+    /// A sink that records into a shared, unbounded in-memory buffer.
     pub fn memory() -> Self {
         TraceSink {
-            buffer: Some(Arc::new(Mutex::new(Vec::new()))),
+            backend: Some(Arc::new(Mutex::new(Backend::Memory(Vec::new())))),
         }
+    }
+
+    /// A sink that keeps only the **last** `cap` events (older events are
+    /// dropped; the drop count is tracked).
+    ///
+    /// # Panics
+    /// Panics if `cap == 0`.
+    pub fn ring(cap: usize) -> Self {
+        assert!(cap > 0, "ring capacity must be positive");
+        TraceSink {
+            backend: Some(Arc::new(Mutex::new(Backend::Ring {
+                buf: VecDeque::with_capacity(cap),
+                cap,
+                dropped: 0,
+            }))),
+        }
+    }
+
+    /// A sink that streams events to `path` as JSON Lines, one event per
+    /// line (see [`event_to_jsonl`] for the schema). Events are buffered;
+    /// call [`TraceSink::flush`] (or drop the last clone) to sync.
+    pub fn jsonl_file(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(TraceSink {
+            backend: Some(Arc::new(Mutex::new(Backend::Jsonl {
+                out: BufWriter::new(file),
+                path,
+                written: 0,
+            }))),
+        })
     }
 
     /// `true` if events are being recorded.
     #[inline]
     pub fn enabled(&self) -> bool {
-        self.buffer.is_some()
+        self.backend.is_some()
     }
 
     /// Records an event (no-op when disabled).
     #[inline]
     pub fn record(&self, ev: TraceEvent) {
-        if let Some(buf) = &self.buffer {
-            buf.lock().push(ev);
+        let Some(backend) = &self.backend else { return };
+        match &mut *backend.lock().unwrap() {
+            Backend::Memory(buf) => buf.push(ev),
+            Backend::Ring { buf, cap, dropped } => {
+                if buf.len() == *cap {
+                    buf.pop_front();
+                    *dropped += 1;
+                }
+                buf.push_back(ev);
+            }
+            Backend::Jsonl { out, path, written } => {
+                let line = event_to_jsonl(&ev);
+                writeln!(out, "{line}")
+                    .unwrap_or_else(|e| panic!("trace write to {} failed: {e}", path.display()));
+                *written += 1;
+            }
         }
     }
 
-    /// Takes a snapshot of all recorded events.
+    /// A non-destructive copy of the buffered events (in-memory backends).
+    /// The JSONL backend buffers nothing and returns an empty vec.
     pub fn snapshot(&self) -> Vec<TraceEvent> {
-        match &self.buffer {
-            Some(buf) => buf.lock().clone(),
+        match &self.backend {
             None => Vec::new(),
+            Some(backend) => match &*backend.lock().unwrap() {
+                Backend::Memory(buf) => buf.clone(),
+                Backend::Ring { buf, .. } => buf.iter().cloned().collect(),
+                Backend::Jsonl { .. } => Vec::new(),
+            },
         }
     }
 
-    /// Number of recorded events.
+    /// Drains the buffered events, leaving the sink empty. Cheaper than
+    /// [`TraceSink::snapshot`] — the buffer is moved out, not cloned. The
+    /// JSONL backend buffers nothing and returns an empty vec.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        match &self.backend {
+            None => Vec::new(),
+            Some(backend) => match &mut *backend.lock().unwrap() {
+                Backend::Memory(buf) => std::mem::take(buf),
+                Backend::Ring { buf, .. } => std::mem::take(buf).into_iter().collect(),
+                Backend::Jsonl { .. } => Vec::new(),
+            },
+        }
+    }
+
+    /// Number of recorded (JSONL: written) events currently accounted for.
     pub fn len(&self) -> usize {
-        self.buffer.as_ref().map_or(0, |b| b.lock().len())
+        match &self.backend {
+            None => 0,
+            Some(backend) => match &*backend.lock().unwrap() {
+                Backend::Memory(buf) => buf.len(),
+                Backend::Ring { buf, .. } => buf.len(),
+                Backend::Jsonl { written, .. } => *written as usize,
+            },
+        }
     }
 
     /// `true` when no events have been recorded (or recording is off).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Events dropped by a full ring buffer (0 for other backends).
+    pub fn dropped(&self) -> u64 {
+        match &self.backend {
+            Some(backend) => match &*backend.lock().unwrap() {
+                Backend::Ring { dropped, .. } => *dropped,
+                _ => 0,
+            },
+            None => 0,
+        }
+    }
+
+    /// Flushes a JSONL backend to disk (no-op for the others).
+    pub fn flush(&self) -> io::Result<()> {
+        if let Some(backend) = &self.backend {
+            if let Backend::Jsonl { out, .. } = &mut *backend.lock().unwrap() {
+                out.flush()?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -164,5 +341,115 @@ mod tests {
             desc: "crash".into(),
         });
         assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn take_drains_snapshot_does_not() {
+        let sink = TraceSink::memory();
+        for i in 0..4 {
+            sink.record(TraceEvent::Note {
+                at: Time(i),
+                node: 0,
+                text: String::new(),
+            });
+        }
+        assert_eq!(sink.snapshot().len(), 4);
+        assert_eq!(sink.len(), 4, "snapshot must not drain");
+        let taken = sink.take();
+        assert_eq!(taken.len(), 4);
+        assert!(sink.is_empty(), "take must drain");
+        assert!(sink.take().is_empty());
+    }
+
+    #[test]
+    fn ring_keeps_the_tail() {
+        let sink = TraceSink::ring(3);
+        for i in 0..10u64 {
+            sink.record(TraceEvent::Note {
+                at: Time(i),
+                node: 0,
+                text: String::new(),
+            });
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 7);
+        let snap = sink.snapshot();
+        match &snap[0] {
+            TraceEvent::Note { at, .. } => assert_eq!(*at, Time(7)),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_streams_stable_lines() {
+        let dir = std::env::temp_dir().join("ssr_sim_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace_test.jsonl");
+        let sink = TraceSink::jsonl_file(&path).unwrap();
+        sink.record(TraceEvent::Send {
+            at: Time(3),
+            from: 1,
+            to: 2,
+            kind: "notify",
+        });
+        sink.record(TraceEvent::Note {
+            at: Time(4),
+            node: 2,
+            text: "say \"hi\"\n".into(),
+        });
+        assert_eq!(sink.len(), 2);
+        sink.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text,
+            "{\"ev\":\"send\",\"at\":3,\"from\":1,\"to\":2,\"kind\":\"notify\"}\n\
+             {\"ev\":\"note\",\"at\":4,\"node\":2,\"text\":\"say \\\"hi\\\"\\n\"}\n"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_schema_covers_every_variant() {
+        let evs = [
+            TraceEvent::Send {
+                at: Time(1),
+                from: 0,
+                to: 1,
+                kind: "k",
+            },
+            TraceEvent::Deliver {
+                at: Time(2),
+                from: 0,
+                to: 1,
+                kind: "k",
+            },
+            TraceEvent::Lost {
+                at: Time(3),
+                from: 0,
+                to: 1,
+                reason: "r",
+            },
+            TraceEvent::Fault {
+                at: Time(4),
+                desc: "d".into(),
+            },
+            TraceEvent::Note {
+                at: Time(5),
+                node: 9,
+                text: "t".into(),
+            },
+        ];
+        let kinds: Vec<String> = evs
+            .iter()
+            .map(|e| {
+                let line = event_to_jsonl(e);
+                assert!(line.starts_with("{\"ev\":\""), "{line}");
+                assert!(line.contains("\"at\":"), "{line}");
+                line
+            })
+            .collect();
+        assert!(kinds[2].contains("\"reason\":\"r\""));
+        assert!(kinds[3].contains("\"desc\":\"d\""));
+        assert!(kinds[4].contains("\"node\":9"));
     }
 }

@@ -202,7 +202,13 @@ mod tests {
     #[test]
     fn max_distance_lands_in_last_interval() {
         let p = IntervalPartition::base2();
-        assert_eq!(p.index(NodeId(0), NodeId(u64::MAX)), Some((Side::Right, 63)));
-        assert_eq!(interval_index(NodeId(0), NodeId(u64::MAX)), Some((Side::Right, 63)));
+        assert_eq!(
+            p.index(NodeId(0), NodeId(u64::MAX)),
+            Some((Side::Right, 63))
+        );
+        assert_eq!(
+            interval_index(NodeId(0), NodeId(u64::MAX)),
+            Some((Side::Right, 63))
+        );
     }
 }

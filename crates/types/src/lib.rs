@@ -30,6 +30,6 @@ pub mod wire;
 
 pub use id::NodeId;
 pub use interval::{interval_index, IntervalPartition, Side};
-pub use ring::{cw_dist, ring_dist, ring_between_cw};
+pub use ring::{cw_dist, ring_between_cw, ring_dist};
 pub use rng::{Rng, SplitMix64};
 pub use seq::SeqNo;

@@ -88,7 +88,9 @@ impl Rng {
     pub fn split(&self, stream: u64) -> Rng {
         // Mix the parent state with the stream key through SplitMix64.
         let mut sm = SplitMix64::new(
-            self.inner.s[0] ^ self.inner.s[3].rotate_left(17) ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            self.inner.s[0]
+                ^ self.inner.s[3].rotate_left(17)
+                ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
         let mut s = [0u64; 4];
         for slot in &mut s {
@@ -309,7 +311,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input in order (astronomically unlikely)");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left input in order (astronomically unlikely)"
+        );
     }
 
     #[test]

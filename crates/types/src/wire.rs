@@ -54,7 +54,9 @@ pub fn put_seq(buf: &mut BytesMut, seq: SeqNo) {
 #[inline]
 pub fn get_seq(buf: &mut Bytes) -> Result<SeqNo, DecodeError> {
     if buf.remaining() < 4 {
-        return Err(DecodeError { context: "sequence number" });
+        return Err(DecodeError {
+            context: "sequence number",
+        });
     }
     Ok(SeqNo(buf.get_u32()))
 }
@@ -70,11 +72,15 @@ pub fn put_id_list(buf: &mut BytesMut, ids: &[NodeId]) {
 /// Decodes an id list.
 pub fn get_id_list(buf: &mut Bytes) -> Result<Vec<NodeId>, DecodeError> {
     if buf.remaining() < 4 {
-        return Err(DecodeError { context: "id list length" });
+        return Err(DecodeError {
+            context: "id list length",
+        });
     }
     let len = buf.get_u32() as usize;
     if buf.remaining() < len * 8 {
-        return Err(DecodeError { context: "id list body" });
+        return Err(DecodeError {
+            context: "id list body",
+        });
     }
     let mut out = Vec::with_capacity(len);
     for _ in 0..len {

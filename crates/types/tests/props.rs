@@ -1,7 +1,10 @@
 //! Property-based tests for the identifier-space primitives.
 
 use proptest::prelude::*;
-use ssr_types::{cw_dist, interval_index, ring_between_cw, ring_dist, IntervalPartition, NodeId, Rng, SeqNo, Side};
+use ssr_types::{
+    cw_dist, interval_index, ring_between_cw, ring_dist, IntervalPartition, NodeId, Rng, SeqNo,
+    Side,
+};
 
 proptest! {
     #[test]

@@ -225,6 +225,10 @@ mod tests {
         assert!(report.converged);
         // the middle node carries the wrap path 10↔50 plus its own edges
         let middle = &sim.protocols()[2];
-        assert!(middle.table().len() >= 3, "middle state {}", middle.table().len());
+        assert!(
+            middle.table().len() >= 3,
+            "middle state {}",
+            middle.table().len()
+        );
     }
 }

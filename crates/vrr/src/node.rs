@@ -508,7 +508,10 @@ impl VrrNode {
     ) -> bool {
         let Some(entry) = self.table.get(&id) else {
             if std::env::var("VRR_DEBUG").is_ok() {
-                eprintln!("[{}] no entry for {:?} toward {} carrying {:?}", self.id, id, toward, payload);
+                eprintln!(
+                    "[{}] no entry for {:?} toward {} carrying {:?}",
+                    self.id, id, toward, payload
+                );
             }
             ctx.metrics().incr("fwd.no_path");
             return false;
@@ -520,7 +523,10 @@ impl VrrNode {
         };
         let Some(next) = next else {
             if std::env::var("VRR_DEBUG").is_ok() {
-                eprintln!("[{}] dangling side for {:?} toward {} carrying {:?}", self.id, id, toward, payload);
+                eprintln!(
+                    "[{}] dangling side for {:?} toward {} carrying {:?}",
+                    self.id, id, toward, payload
+                );
             }
             ctx.metrics().incr("fwd.no_path");
             return false;
@@ -895,7 +901,11 @@ impl VrrNode {
         from: Option<usize>,
         to: Option<usize>,
     ) {
-        let (toward_a, toward_b) = if origin == id.ea { (from, to) } else { (to, from) };
+        let (toward_a, toward_b) = if origin == id.ea {
+            (from, to)
+        } else {
+            (to, from)
+        };
         self.table.install(
             id,
             PathEntry {
@@ -1166,7 +1176,13 @@ impl VrrNode {
 
     // -- hello --------------------------------------------------------------------
 
-    fn handle_hello(&mut self, ctx: &mut Ctx<'_, VrrMsg>, from_idx: usize, id: NodeId, rep: NodeId) {
+    fn handle_hello(
+        &mut self,
+        ctx: &mut Ctx<'_, VrrMsg>,
+        from_idx: usize,
+        id: NodeId,
+        rep: NodeId,
+    ) {
         let known = self.nbr_id.get(&from_idx) == Some(&id);
         self.nbr_index.insert(id, from_idx);
         self.nbr_id.insert(from_idx, id);
@@ -1239,7 +1255,11 @@ impl Protocol for VrrNode {
                         _ => self.accept_discovery(ctx, origin, dir, nonce, from),
                     }
                 }
-                RoutedPayload::Claim { from: claimant, to, nonce } => {
+                RoutedPayload::Claim {
+                    from: claimant,
+                    to,
+                    nonce,
+                } => {
                     if to == self.id {
                         self.handle_claim_arrival(ctx, claimant, nonce, from);
                         return;
@@ -1288,7 +1308,12 @@ impl Protocol for VrrNode {
                     }
                 }
             },
-            VrrMsg::AlongPath { id, toward, ttl, payload } => {
+            VrrMsg::AlongPath {
+                id,
+                toward,
+                ttl,
+                payload,
+            } => {
                 if ttl == 0 {
                     ctx.metrics().incr("fwd.ttl_expired");
                     return;
@@ -1415,7 +1440,9 @@ impl Protocol for VrrNode {
                         final_pid,
                         dir,
                     } => {
-                        self.handle_close_ring(ctx, id, toward, acceptor, final_pid, dir, from, ttl);
+                        self.handle_close_ring(
+                            ctx, id, toward, acceptor, final_pid, dir, from, ttl,
+                        );
                     }
                 }
             }
@@ -1451,14 +1478,13 @@ impl Protocol for VrrNode {
                     self.arm_audit(ctx);
                 }
             }
-            TOKEN_BEACON
-                if self.config.mode == VrrMode::Baseline => {
-                    ctx.broadcast(VrrMsg::Hello {
-                        id: self.id,
-                        rep: self.rep,
-                    });
-                    ctx.set_timer(self.config.beacon_interval, TOKEN_BEACON);
-                }
+            TOKEN_BEACON if self.config.mode == VrrMode::Baseline => {
+                ctx.broadcast(VrrMsg::Hello {
+                    id: self.id,
+                    rep: self.rep,
+                });
+                ctx.set_timer(self.config.beacon_interval, TOKEN_BEACON);
+            }
             _ => {}
         }
     }
@@ -1529,35 +1555,71 @@ mod tests {
     #[test]
     fn payload_targets() {
         assert_eq!(
-            RoutedPayload::Discover { origin: NodeId(4), dir: Dir::Cw, nonce: 0 }.target(),
+            RoutedPayload::Discover {
+                origin: NodeId(4),
+                dir: Dir::Cw,
+                nonce: 0
+            }
+            .target(),
             NodeId::MAX
         );
         assert_eq!(
-            RoutedPayload::Discover { origin: NodeId(4), dir: Dir::Ccw, nonce: 0 }.target(),
+            RoutedPayload::Discover {
+                origin: NodeId(4),
+                dir: Dir::Ccw,
+                nonce: 0
+            }
+            .target(),
             NodeId::MIN
         );
         assert_eq!(
-            RoutedPayload::Claim { from: NodeId(1), to: NodeId(9), nonce: 0 }.target(),
+            RoutedPayload::Claim {
+                from: NodeId(1),
+                to: NodeId(9),
+                nonce: 0
+            }
+            .target(),
             NodeId(9)
         );
         assert_eq!(
-            RoutedPayload::Probe { target: NodeId(7), hops: 0 }.target(),
+            RoutedPayload::Probe {
+                target: NodeId(7),
+                hops: 0
+            }
+            .target(),
             NodeId(7)
         );
     }
 
     #[test]
     fn message_kinds() {
-        assert_eq!(VrrMsg::Hello { id: NodeId(0), rep: NodeId(0) }.kind(), "hello");
+        assert_eq!(
+            VrrMsg::Hello {
+                id: NodeId(0),
+                rep: NodeId(0)
+            }
+            .kind(),
+            "hello"
+        );
         let pid = PathId::new(NodeId(1), NodeId(2), 0);
         assert_eq!(
-            VrrMsg::AlongPath { id: pid, toward: NodeId(1), ttl: 8, payload: PathPayload::Teardown }.kind(),
+            VrrMsg::AlongPath {
+                id: pid,
+                toward: NodeId(1),
+                ttl: 8,
+                payload: PathPayload::Teardown
+            }
+            .kind(),
             "teardown"
         );
         assert_eq!(
             VrrMsg::Routed {
                 ttl: 1,
-                payload: RoutedPayload::Claim { from: NodeId(1), to: NodeId(2), nonce: 0 }
+                payload: RoutedPayload::Claim {
+                    from: NodeId(1),
+                    to: NodeId(2),
+                    nonce: 0
+                }
             }
             .kind(),
             "succ"

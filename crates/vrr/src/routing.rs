@@ -169,7 +169,10 @@ mod tests {
         let (nodes, _) = converged_line(4);
         let view = VrrRoutingView::new(&nodes);
         let ghost = ssr_types::NodeId(999_999);
-        assert_eq!(view.route(ghost, ssr_types::NodeId(10), 8), VrrRouteOutcome::Stuck { at: ghost });
+        assert_eq!(
+            view.route(ghost, ssr_types::NodeId(10), 8),
+            VrrRouteOutcome::Stuck { at: ghost }
+        );
     }
 
     #[test]

@@ -163,8 +163,14 @@ mod tests {
 
     #[test]
     fn path_id_is_canonical() {
-        assert_eq!(PathId::new(NodeId(5), NodeId(2), 7), PathId::new(NodeId(2), NodeId(5), 7));
-        assert_ne!(PathId::new(NodeId(2), NodeId(5), 7), PathId::new(NodeId(2), NodeId(5), 8));
+        assert_eq!(
+            PathId::new(NodeId(5), NodeId(2), 7),
+            PathId::new(NodeId(2), NodeId(5), 7)
+        );
+        assert_ne!(
+            PathId::new(NodeId(2), NodeId(5), 7),
+            PathId::new(NodeId(2), NodeId(5), 8)
+        );
     }
 
     #[test]

@@ -161,7 +161,11 @@ mod tests {
             Topology::Gnp { n: 60, c: 1.5 },
             Topology::PowerLaw { n: 60, alpha: 2.0 },
             Topology::PreferentialAttachment { n: 60, m: 2 },
-            Topology::SmallWorld { n: 60, k: 4, beta: 0.2 },
+            Topology::SmallWorld {
+                n: 60,
+                k: 4,
+                beta: 0.2,
+            },
             Topology::Ring { n: 60 },
             Topology::Grid { n: 60 },
         ];
@@ -178,7 +182,10 @@ mod tests {
         let t = Topology::UnitDisk { n: 40, scale: 1.3 };
         let (g1, l1) = t.instance(5);
         let (g2, l2) = t.instance(5);
-        assert_eq!(g1.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+        assert_eq!(
+            g1.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
         assert_eq!(l1.ids(), l2.ids());
     }
 

@@ -2,7 +2,7 @@
 //!
 //! Every sweep point (a topology size, a seed, a protocol variant) is an
 //! independent simulation, so the experiments parallelize embarrassingly
-//! over crossbeam scoped threads. Results come back in input order, which
+//! over std scoped threads. Results come back in input order, which
 //! keeps the printed tables deterministic regardless of scheduling.
 
 /// Applies `f` to every input on a pool of `workers` threads, returning
@@ -27,10 +27,10 @@ where
     let inputs = &inputs;
     let f = &f;
     let next = &next;
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -39,8 +39,7 @@ where
             });
         }
         drop(tx);
-    })
-    .expect("sweep worker panicked");
+    });
     let mut indexed: Vec<(usize, O)> = rx.into_iter().collect();
     indexed.sort_by_key(|&(i, _)| i);
     indexed.into_iter().map(|(_, o)| o).collect()

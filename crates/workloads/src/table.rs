@@ -54,7 +54,11 @@ impl Table {
         }
         let mut out = String::new();
         out.push_str(&format!("== {} ==\n", self.title));
-        let hline: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+        let hline: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
         let fmt_row = |cells: &[String]| -> String {
             cells
                 .iter()

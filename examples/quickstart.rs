@@ -27,8 +27,10 @@ fn main() {
     );
 
     // 2. Bootstrap the virtual ring with linearization — no flooding.
-    let mut config = BootstrapConfig::default();
-    config.seed = 42;
+    let config = BootstrapConfig {
+        seed: 42,
+        ..Default::default()
+    };
     let (report, sim) = run_linearized_bootstrap(&topo, &labels, &config);
     println!(
         "bootstrap: converged={} in {} ticks, {} messages ({} floods)",

@@ -69,8 +69,8 @@ fn main() {
     // brown-out: sensors in the left half of the field crash, then rejoin
     let t0 = sim.now();
     let mut crashed = 0;
-    for u in 0..n {
-        if positions[u].x < 0.5 {
+    for (u, pos) in positions.iter().enumerate() {
+        if pos.x < 0.5 {
             sim.schedule_fault(t0 + 1, ssr_sim::faults::Fault::Crash { node: u });
             sim.schedule_fault(
                 t0 + 120,

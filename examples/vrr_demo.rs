@@ -31,12 +31,19 @@ fn main() {
     ] {
         // the baseline gets a small budget: its point here is the standing
         // beacon/dissemination cost, not convergence (see experiment E10)
-        let budget = if mode == VrrMode::Linearized { 200_000 } else { 3_000 };
-        let (report, sim) =
-            run_vrr_bootstrap(&topo, &labels, mode, LinkConfig::ideal(), 3, budget);
+        let budget = if mode == VrrMode::Linearized {
+            200_000
+        } else {
+            3_000
+        };
+        let (report, sim) = run_vrr_bootstrap(&topo, &labels, mode, LinkConfig::ideal(), 3, budget);
         println!(
             "VRR {name}: converged={} at t={}, {} msgs, state max {} / mean {:.1}",
-            report.converged, report.ticks, report.total_messages, report.max_state, report.mean_state
+            report.converged,
+            report.ticks,
+            report.total_messages,
+            report.max_state,
+            report.mean_state
         );
         for (k, v) in &report.messages {
             println!("    {k}: {v}");
@@ -50,7 +57,10 @@ fn main() {
                 for b in 0..n {
                     if a != b {
                         total += 1;
-                        if view.route(labels.id(a), labels.id(b), 8 * n as u32).delivered() {
+                        if view
+                            .route(labels.id(a), labels.id(b), 8 * n as u32)
+                            .delivered()
+                        {
                             ok += 1;
                         }
                     }

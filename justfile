@@ -1,0 +1,25 @@
+# Developer entry points. `just` lists these recipes; `./ci.sh` mirrors `just ci`.
+
+# build + test + clippy + fmt + observability smoke
+ci:
+    ./ci.sh
+
+# release build of the whole workspace
+build:
+    cargo build --workspace --release
+
+# all tests, quiet
+test:
+    cargo test --workspace --quiet
+
+# lints as errors
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# formatting check
+fmt:
+    cargo fmt --all --check
+
+# fig1_loopy with the streaming JSONL sink, then obs trace/summarize/diff
+obs-smoke:
+    ./scripts/obs_smoke.sh

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Observability smoke test: run fig1_loopy with the streaming JSONL trace
+# sink, then drive the obs CLI over the trace and the emitted manifest.
+# Everything lands in a scratch directory; the checked-in results/ is not
+# touched. Fails if the trace is empty, the manifest is missing, or any
+# obs subcommand errors.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCRATCH="target/obs-smoke"
+rm -rf "$SCRATCH"
+mkdir -p "$SCRATCH"
+
+cargo build --release -q -p ssr-bench --bin fig1_loopy -p ssr-obs --bin obs
+FIG1="$(pwd)/target/release/fig1_loopy"
+OBS="$(pwd)/target/release/obs"
+
+echo "-- fig1_loopy with JSONL trace --"
+(cd "$SCRATCH" && "$FIG1" --trace-jsonl trace.jsonl > fig1.out)
+test -s "$SCRATCH/trace.jsonl" || { echo "empty trace"; exit 1; }
+test -s "$SCRATCH/results/fig1_loopy.manifest.json" || { echo "missing manifest"; exit 1; }
+
+echo "-- obs trace (send events only) --"
+"$OBS" trace "$SCRATCH/trace.jsonl" --ev send | tail -1
+
+echo "-- obs summarize --"
+"$OBS" summarize "$SCRATCH/results/fig1_loopy.manifest.json" | head -20
+
+echo "-- obs diff (manifest vs itself: must be clean) --"
+"$OBS" diff "$SCRATCH/results/fig1_loopy.manifest.json" \
+            "$SCRATCH/results/fig1_loopy.manifest.json" | grep -q "no differences"
+
+echo "obs smoke OK"

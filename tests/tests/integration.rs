@@ -1,9 +1,7 @@
 //! Workspace-level integration tests: full bootstrap → consistency →
 //! routing pipelines across every crate, on each topology family.
 
-use ssr_core::bootstrap::{
-    run_isprp_bootstrap, run_linearized_bootstrap, BootstrapConfig,
-};
+use ssr_core::bootstrap::{run_isprp_bootstrap, run_linearized_bootstrap, BootstrapConfig};
 use ssr_core::consistency::{self, RingShape};
 use ssr_core::routing::RoutingView;
 use ssr_graph::algo;
@@ -24,17 +22,27 @@ fn bootstrap_and_route_on_every_family() {
         Topology::Gnp { n: 40, c: 2.0 },
         Topology::PowerLaw { n: 40, alpha: 2.0 },
         Topology::PreferentialAttachment { n: 40, m: 2 },
-        Topology::SmallWorld { n: 40, k: 4, beta: 0.2 },
+        Topology::SmallWorld {
+            n: 40,
+            k: 4,
+            beta: 0.2,
+        },
         Topology::Ring { n: 40 },
         Topology::Grid { n: 36 },
     ];
     for topo in topos {
         let (g, labels) = topo.instance(11);
         let n = g.node_count();
-        let mut cfg = BootstrapConfig::default();
-        cfg.max_ticks = 200_000;
+        let cfg = BootstrapConfig {
+            max_ticks: 200_000,
+            ..Default::default()
+        };
         let (report, sim) = run_linearized_bootstrap(&g, &labels, &cfg);
-        assert!(report.converged, "{} did not converge: {report:?}", topo.family());
+        assert!(
+            report.converged,
+            "{} did not converge: {report:?}",
+            topo.family()
+        );
         assert!(
             !report.messages.iter().any(|(k, _)| k == "msg.flood"),
             "{} flooded!",
@@ -56,8 +64,10 @@ fn bootstrap_and_route_on_every_family() {
 fn isprp_and_linearized_agree_on_the_ring() {
     let topo = Topology::UnitDisk { n: 30, scale: 1.3 };
     let (g, labels) = topo.instance(5);
-    let mut cfg = BootstrapConfig::default();
-    cfg.max_ticks = 200_000;
+    let cfg = BootstrapConfig {
+        max_ticks: 200_000,
+        ..Default::default()
+    };
     let (lin, lin_sim) = run_linearized_bootstrap(&g, &labels, &cfg);
     let (isp, isp_sim) = run_isprp_bootstrap(&g, &labels, &cfg);
     assert!(lin.converged && isp.converged);
@@ -88,8 +98,10 @@ fn isprp_and_linearized_agree_on_the_ring() {
 fn vrr_and_ssr_build_the_same_ring() {
     let topo = Topology::UnitDisk { n: 16, scale: 1.4 };
     let (g, labels) = topo.instance(3);
-    let mut cfg = BootstrapConfig::default();
-    cfg.max_ticks = 200_000;
+    let cfg = BootstrapConfig {
+        max_ticks: 200_000,
+        ..Default::default()
+    };
     let (ssr, ssr_sim) = run_linearized_bootstrap(&g, &labels, &cfg);
     let (vrr, vrr_sim) = run_vrr_bootstrap(
         &g,
@@ -123,8 +135,10 @@ fn end_to_end_determinism() {
     let run = || {
         let topo = Topology::UnitDisk { n: 35, scale: 1.3 };
         let (g, labels) = topo.instance(77);
-        let mut cfg = BootstrapConfig::default();
-        cfg.seed = 123;
+        let cfg = BootstrapConfig {
+            seed: 123,
+            ..Default::default()
+        };
         let (report, _) = run_linearized_bootstrap(&g, &labels, &cfg);
         (report.ticks, report.total_messages, report.messages.clone())
     };
@@ -163,7 +177,10 @@ fn churn_recovery_without_flooding() {
         consistency::check_ring(nodes).consistent()
     });
     let report = consistency::check_ring(sim.protocols());
-    assert!(report.consistent(), "no re-convergence: {report:?} ({outcome:?})");
+    assert!(
+        report.consistent(),
+        "no re-convergence: {report:?} ({outcome:?})"
+    );
     assert_eq!(sim.metrics().counter("msg.flood"), 0);
 }
 
@@ -172,10 +189,12 @@ fn churn_recovery_without_flooding() {
 fn lossy_links_still_converge() {
     let topo = Topology::UnitDisk { n: 25, scale: 1.4 };
     let (g, labels) = topo.instance(13);
-    let mut cfg = BootstrapConfig::default();
-    cfg.link = LinkConfig::lossy(0.05);
-    cfg.max_ticks = 400_000;
-    cfg.seed = 5;
+    let cfg = BootstrapConfig {
+        link: LinkConfig::lossy(0.05),
+        max_ticks: 400_000,
+        seed: 5,
+        ..Default::default()
+    };
     let (report, _) = run_linearized_bootstrap(&g, &labels, &cfg);
     assert!(report.converged, "{report:?}");
 }
@@ -185,9 +204,11 @@ fn lossy_links_still_converge() {
 fn jittered_latency_converges() {
     let topo = Topology::UnitDisk { n: 30, scale: 1.3 };
     let (g, labels) = topo.instance(17);
-    let mut cfg = BootstrapConfig::default();
-    cfg.link = LinkConfig::jittered(1, 5);
-    cfg.max_ticks = 400_000;
+    let cfg = BootstrapConfig {
+        link: LinkConfig::jittered(1, 5),
+        max_ticks: 400_000,
+        ..Default::default()
+    };
     let (report, _) = run_linearized_bootstrap(&g, &labels, &cfg);
     assert!(report.converged, "{report:?}");
 }
@@ -200,12 +221,7 @@ fn figure_states_classify_correctly() {
     let ids = [1u64, 4, 9, 13, 18, 21, 25, 29];
     let order = [0usize, 2, 4, 6, 1, 3, 5, 7];
     let succ: std::collections::BTreeMap<NodeId, NodeId> = (0..8)
-        .map(|i| {
-            (
-                NodeId(ids[order[i]]),
-                NodeId(ids[order[(i + 1) % 8]]),
-            )
-        })
+        .map(|i| (NodeId(ids[order[i]]), NodeId(ids[order[(i + 1) % 8]])))
         .collect();
     assert_eq!(consistency::classify_succ_map(&succ), RingShape::Loopy(2));
     // two disjoint rings (Figure 2)
@@ -214,7 +230,10 @@ fn figure_states_classify_correctly() {
             .iter()
             .map(|&(a, b)| (NodeId(a), NodeId(b)))
             .collect();
-    assert_eq!(consistency::classify_succ_map(&succ2), RingShape::Partitioned(2));
+    assert_eq!(
+        consistency::classify_succ_map(&succ2),
+        RingShape::Partitioned(2)
+    );
 }
 
 /// Abstract engine and protocol agree: the protocol's final line order is
@@ -233,8 +252,10 @@ fn engine_and_protocol_agree_on_the_line() {
     );
     assert!(engine_run.line_at.is_some());
     // protocol
-    let mut cfg = BootstrapConfig::default();
-    cfg.max_ticks = 200_000;
+    let cfg = BootstrapConfig {
+        max_ticks: 200_000,
+        ..Default::default()
+    };
     let (report, sim) = run_linearized_bootstrap(&g, &labels, &cfg);
     assert!(report.converged);
     // the protocol's ring successor order must be the sorted id order
