@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Offline CI: build, test, lint, format check, then the observability
-# smoke path (fig1_loopy with a JSONL trace sink + obs summarize/diff).
-# Mirrors `just ci`.
+# Offline CI: build, test, lint, format check, then the chaos smoke
+# matrix (exp_chaos --smoke: self-stabilization gate) and the
+# observability smoke path (fig1_loopy with a JSONL trace sink + obs
+# summarize/diff + chaos manifest determinism). Mirrors `just ci`.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -16,6 +17,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== fmt =="
 cargo fmt --all --check
+
+echo "== chaos smoke =="
+./target/release/exp_chaos --smoke
 
 echo "== obs smoke =="
 ./scripts/obs_smoke.sh

@@ -22,10 +22,13 @@
 //! Flags: `--trace-jsonl PATH` streams the ISPRP-with-flood run's event
 //! trace to PATH as JSONL (one object per line; see `ssr_sim::trace`).
 
+use std::collections::BTreeMap;
+
 use ssr_bench::Args;
 use ssr_core::bootstrap::{
     isprp_shape, make_isprp_nodes, run_linearized_bootstrap, BootstrapConfig,
 };
+use ssr_core::chaos;
 use ssr_core::consistency::{classify_succ_map, RingShape};
 use ssr_core::isprp::IsprpConfig;
 use ssr_graph::{Graph, Labeling};
@@ -36,26 +39,30 @@ use ssr_workloads::Table;
 
 /// Figure 1's addresses.
 const IDS: [u64; 8] = [1, 4, 9, 13, 18, 21, 25, 29];
-/// Figure 1's loopy successor order (indices into `IDS`).
-const LOOPY_ORDER: [usize; 8] = [0, 2, 4, 6, 1, 3, 5, 7]; // 1,9,18,25,4,13,21,29
 
-fn loopy_world() -> (Graph, Labeling) {
-    // physical cycle in the loopy order: 1–9–18–25–4–13–21–29–1
-    let mut g = Graph::new(8);
-    for i in 0..8 {
-        g.add_edge(LOOPY_ORDER[i], LOOPY_ORDER[(i + 1) % 8]);
+/// The figure's world: the doubly-wound successor map comes from the chaos
+/// scenario library (`wound_ring_succ` with 2 windings reproduces exactly
+/// the figure's order 1,9,18,25,4,13,21,29), and the physical cycle *is*
+/// that loopy order — each loopy successor is the clockwise-closest
+/// physical neighbor, so the state is a fixpoint of flood-free ISPRP.
+fn loopy_world() -> (Graph, Labeling, BTreeMap<NodeId, NodeId>) {
+    let ids: Vec<NodeId> = IDS.iter().map(|&i| NodeId(i)).collect();
+    let succ = chaos::wound_ring_succ(&ids, 2);
+    let labels = Labeling::from_ids(ids);
+    let mut g = Graph::new(IDS.len());
+    for (&a, &b) in &succ {
+        g.add_edge(labels.index(a).unwrap(), labels.index(b).unwrap());
     }
-    let labels = Labeling::from_ids(IDS.iter().map(|&i| NodeId(i)).collect());
-    (g, labels)
+    (g, labels, succ)
 }
 
-/// Injects the doubly-wound successor pointers (each node's loopy successor
-/// is its clockwise-closest physical neighbor, so the state is a fixpoint of
-/// flood-free ISPRP).
-fn inject_loopy(nodes: &mut [ssr_core::isprp::IsprpNode], labels: &Labeling) {
-    for i in 0..8 {
-        let a = NodeId(IDS[LOOPY_ORDER[i]]);
-        let b = NodeId(IDS[LOOPY_ORDER[(i + 1) % 8]]);
+/// Injects the doubly-wound successor pointers.
+fn inject_loopy(
+    nodes: &mut [ssr_core::isprp::IsprpNode],
+    labels: &Labeling,
+    succ: &BTreeMap<NodeId, NodeId>,
+) {
+    for (&a, &b) in succ {
         let ia = labels.index(a).unwrap();
         nodes[ia].inject_succ(ssr_core::route::SourceRoute::direct(a, b));
     }
@@ -64,7 +71,12 @@ fn inject_loopy(nodes: &mut [ssr_core::isprp::IsprpNode], labels: &Labeling) {
 fn main() {
     let started = std::time::Instant::now();
     let args = Args::parse();
-    let (topo, labels) = loopy_world();
+    let (topo, labels, loopy_succ) = loopy_world();
+    assert_eq!(
+        classify_succ_map(&loopy_succ),
+        RingShape::Loopy(2),
+        "scenario library must reproduce the figure's double winding"
+    );
     let mut man = ssr_bench::manifest(&args, "fig1_loopy");
     man.seed(1);
 
@@ -96,7 +108,7 @@ fn main() {
             ..IsprpConfig::default()
         };
         let mut nodes = make_isprp_nodes(&labels, cfg);
-        inject_loopy(&mut nodes, &labels);
+        inject_loopy(&mut nodes, &labels, &loopy_succ);
         let mut sim = Simulator::new(topo.clone(), nodes, LinkConfig::ideal(), 1);
         sim.run_until(ssr_sim::Time(5_000));
         let shape = isprp_shape(sim.protocols());
@@ -137,7 +149,7 @@ fn main() {
     {
         let cfg = IsprpConfig::default();
         let mut nodes = make_isprp_nodes(&labels, cfg);
-        inject_loopy(&mut nodes, &labels);
+        inject_loopy(&mut nodes, &labels, &loopy_succ);
         let sink = match args.opt("trace-jsonl") {
             Some(path) => {
                 man.config("trace-jsonl", path);

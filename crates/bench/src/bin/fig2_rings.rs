@@ -21,11 +21,14 @@
 //!
 //! Run: `cargo run --release -p ssr-bench --bin fig2_rings [-- --csv out.csv]`
 
+use std::collections::BTreeMap;
+
 use ssr_bench::Args;
 use ssr_core::bootstrap::{
     isprp_shape, make_isprp_nodes, run_linearized_bootstrap, BootstrapConfig,
 };
-use ssr_core::consistency::RingShape;
+use ssr_core::chaos;
+use ssr_core::consistency::{classify_succ_map, RingShape};
 use ssr_core::isprp::IsprpConfig;
 use ssr_core::route::SourceRoute;
 use ssr_graph::{Graph, Labeling};
@@ -37,37 +40,52 @@ use ssr_workloads::Table;
 /// Figure 2's addresses: ring A = {1, 9, 18}, ring B = {4, 13, 21}.
 const IDS: [u64; 6] = [1, 9, 18, 4, 13, 21];
 
-fn world() -> (Graph, Labeling) {
-    let mut g = Graph::new(6);
-    // triangle A: indices 0(1), 1(9), 2(18)
-    g.add_edge(0, 1);
-    g.add_edge(1, 2);
-    g.add_edge(2, 0);
-    // triangle B: indices 3(4), 4(13), 5(21)
-    g.add_edge(3, 4);
-    g.add_edge(4, 5);
-    g.add_edge(5, 3);
-    // the bridge 18–4 (see header for why this pair)
-    g.add_edge(2, 3);
-    let labels = Labeling::from_ids(IDS.iter().map(|&i| NodeId(i)).collect());
-    (g, labels)
+/// The figure's world. The two-ring successor map comes from the chaos
+/// scenario library: `split_rings_succ` with 2 parts closes each
+/// interleaved residue class of the sorted addresses on itself, which is
+/// exactly the figure's rings 1→9→18→1 and 4→13→21→4. The physical
+/// topology mirrors them as two triangles plus the single bridge 18–4
+/// (chosen so neither bridge endpoint sees a better successor across it —
+/// the disjoint rings are a genuine fixpoint of flood-free ISPRP).
+fn world() -> (Graph, Labeling, BTreeMap<NodeId, NodeId>) {
+    let ids: Vec<NodeId> = IDS.iter().map(|&i| NodeId(i)).collect();
+    let succ = chaos::split_rings_succ(&ids, 2);
+    let labels = Labeling::from_ids(ids);
+    let mut g = Graph::new(IDS.len());
+    // each ring's edges are physical triangle links
+    for (&a, &b) in &succ {
+        g.add_edge(labels.index(a).unwrap(), labels.index(b).unwrap());
+    }
+    // the bridge 18–4 (see above for why this pair)
+    g.add_edge(
+        labels.index(NodeId(18)).unwrap(),
+        labels.index(NodeId(4)).unwrap(),
+    );
+    (g, labels, succ)
 }
 
 /// Injects the two disjoint virtual rings into freshly initialized ISPRP
-/// nodes: 1→9→18→1 and 4→13→21→4 (routes are the triangle links).
-fn inject_two_rings(sim: &mut Simulator<ssr_core::isprp::IsprpNode>, labels: &Labeling) {
-    let ring_succ: [(u64, u64); 6] = [(1, 9), (9, 18), (18, 1), (4, 13), (13, 21), (21, 4)];
-    for (a, b) in ring_succ {
-        let ia = labels.index(NodeId(a)).unwrap();
-        sim.protocol_mut(ia)
-            .inject_succ(SourceRoute::direct(NodeId(a), NodeId(b)));
+/// nodes (routes are the triangle links).
+fn inject_two_rings(
+    sim: &mut Simulator<ssr_core::isprp::IsprpNode>,
+    labels: &Labeling,
+    succ: &BTreeMap<NodeId, NodeId>,
+) {
+    for (&a, &b) in succ {
+        let ia = labels.index(a).unwrap();
+        sim.protocol_mut(ia).inject_succ(SourceRoute::direct(a, b));
     }
 }
 
 fn main() {
     let started = std::time::Instant::now();
     let args = Args::parse();
-    let (topo, labels) = world();
+    let (topo, labels, ring_succ) = world();
+    assert_eq!(
+        classify_succ_map(&ring_succ),
+        RingShape::Partitioned(2),
+        "scenario library must reproduce the figure's two rings"
+    );
     let mut man = ssr_bench::manifest(&args, "fig2_rings");
     man.seed(1);
 
@@ -94,7 +112,7 @@ fn main() {
         };
         let nodes = make_isprp_nodes(&labels, cfg);
         let mut sim = Simulator::new(topo.clone(), nodes, LinkConfig::ideal(), 1);
-        inject_two_rings(&mut sim, &labels);
+        inject_two_rings(&mut sim, &labels, &ring_succ);
         sim.run_until(ssr_sim::Time(5_000));
         let shape = isprp_shape(sim.protocols());
         println!("ISPRP (no flood) after 5000 ticks: {shape:?}");
@@ -127,7 +145,7 @@ fn main() {
         let cfg = IsprpConfig::default();
         let nodes = make_isprp_nodes(&labels, cfg);
         let mut sim = Simulator::new(topo.clone(), nodes, LinkConfig::ideal(), 1);
-        inject_two_rings(&mut sim, &labels);
+        inject_two_rings(&mut sim, &labels, &ring_succ);
         let outcome = sim.run_until_stable(8, 20_000, |nodes, _| {
             isprp_shape(nodes) == RingShape::ConsistentRing
         });

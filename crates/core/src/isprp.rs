@@ -448,7 +448,13 @@ impl IsprpNode {
         }
     }
 
-    fn handle_hello(&mut self, ctx: &mut Ctx<'_, SsrMsg>, from_idx: usize, id: NodeId) {
+    fn handle_hello(
+        &mut self,
+        ctx: &mut Ctx<'_, SsrMsg>,
+        from_idx: usize,
+        id: NodeId,
+        probe: bool,
+    ) {
         let known = self.nbr_id.get(&from_idx) == Some(&id);
         self.nbr_index.insert(id, from_idx);
         self.nbr_id.insert(from_idx, id);
@@ -456,8 +462,16 @@ impl IsprpNode {
         if id > self.rep {
             self.rep = id; // suppresses our own flood
         }
+        if !known || probe {
+            ctx.send(
+                from_idx,
+                SsrMsg::Hello {
+                    id: self.id,
+                    probe: false,
+                },
+            );
+        }
         if !known {
-            ctx.send(from_idx, SsrMsg::Hello { id: self.id });
             self.act(ctx);
         }
     }
@@ -467,7 +481,10 @@ impl Protocol for IsprpNode {
     type Msg = SsrMsg;
 
     fn on_init(&mut self, ctx: &mut Ctx<'_, SsrMsg>) {
-        ctx.broadcast(SsrMsg::Hello { id: self.id });
+        ctx.broadcast(SsrMsg::Hello {
+            id: self.id,
+            probe: true,
+        });
         ctx.set_timer(self.config.act_delay, TOKEN_ACT);
         if self.config.enable_flood {
             ctx.set_timer(self.config.flood_delay, TOKEN_FLOOD);
@@ -477,8 +494,8 @@ impl Protocol for IsprpNode {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, SsrMsg>, from: usize, msg: SsrMsg) {
         match msg {
-            SsrMsg::Hello { id } => {
-                self.handle_hello(ctx, from, id);
+            SsrMsg::Hello { id, probe } => {
+                self.handle_hello(ctx, from, id, probe);
                 self.schedule_stabilize(ctx);
             }
             SsrMsg::Flood { origin, trace } => {
@@ -555,7 +572,13 @@ impl Protocol for IsprpNode {
     }
 
     fn on_neighbor_up(&mut self, ctx: &mut Ctx<'_, SsrMsg>, neighbor: usize) {
-        ctx.send(neighbor, SsrMsg::Hello { id: self.id });
+        ctx.send(
+            neighbor,
+            SsrMsg::Hello {
+                id: self.id,
+                probe: true,
+            },
+        );
     }
 
     fn on_neighbor_down(&mut self, ctx: &mut Ctx<'_, SsrMsg>, neighbor: usize) {

@@ -26,13 +26,18 @@
 //! * [`consistency`] — global-observer checkers: local consistency, loopy
 //!   states, partitioned rings, the formed line, and the closed ring;
 //! * [`bootstrap`] — one-call experiment drivers returning convergence
-//!   reports (rounds, message counts by kind, per-node state).
+//!   reports (rounds, message counts by kind, per-node state);
+//! * [`chaos`] — adversarial state injection (wound rings, split rings,
+//!   random successor corruption, truncated handshakes, stale cache
+//!   routes) and the self-stabilization invariant checker (union-graph
+//!   connectedness, zero floods, linearization potential).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bootstrap;
 pub mod cache;
+pub mod chaos;
 pub mod consistency;
 pub mod isprp;
 pub mod message;

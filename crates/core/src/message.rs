@@ -134,9 +134,17 @@ pub struct ForwardEnvelope {
 #[derive(Clone, Debug, PartialEq)]
 pub enum SsrMsg {
     /// Link-local neighbor discovery: "my address is `id`".
+    ///
+    /// `probe` asks the receiver to reply with its own hello even if it
+    /// already knows the sender. Initial broadcasts and retries set it:
+    /// adjacency knowledge must end up *mutual*, and without a solicited
+    /// reply a node whose hellos were all lost could never repair the
+    /// asymmetry — its peer, already satisfied, would stay silent forever.
     Hello {
         /// Sender's address.
         id: NodeId,
+        /// Whether the sender requests a reply unconditionally.
+        probe: bool,
     },
     /// Source-routed transport.
     Forward(ForwardEnvelope),
@@ -203,9 +211,10 @@ fn get_dir(buf: &mut Bytes) -> Result<Direction, DecodeError> {
 /// Encodes a message into `buf`.
 pub fn encode(msg: &SsrMsg, buf: &mut BytesMut) {
     match msg {
-        SsrMsg::Hello { id } => {
+        SsrMsg::Hello { id, probe } => {
             buf.put_u8(TAG_HELLO);
             wire::put_node_id(buf, *id);
+            buf.put_u8(u8::from(*probe));
         }
         SsrMsg::Forward(env) => {
             buf.put_u8(TAG_FORWARD);
@@ -289,9 +298,18 @@ pub fn decode(buf: &mut Bytes) -> Result<SsrMsg, DecodeError> {
         });
     }
     match buf.get_u8() {
-        TAG_HELLO => Ok(SsrMsg::Hello {
-            id: wire::get_node_id(buf)?,
-        }),
+        TAG_HELLO => {
+            let id = wire::get_node_id(buf)?;
+            if buf.remaining() < 1 {
+                return Err(DecodeError {
+                    context: "hello probe flag",
+                });
+            }
+            Ok(SsrMsg::Hello {
+                id,
+                probe: buf.get_u8() != 0,
+            })
+        }
         TAG_FORWARD => {
             let route = wire::get_id_list(buf)?;
             if buf.remaining() < 4 {
@@ -398,7 +416,14 @@ mod tests {
 
     #[test]
     fn hello_roundtrip() {
-        roundtrip(SsrMsg::Hello { id: NodeId(7) });
+        roundtrip(SsrMsg::Hello {
+            id: NodeId(7),
+            probe: false,
+        });
+        roundtrip(SsrMsg::Hello {
+            id: NodeId(7),
+            probe: true,
+        });
     }
 
     #[test]
@@ -465,7 +490,14 @@ mod tests {
 
     #[test]
     fn kinds() {
-        assert_eq!(SsrMsg::Hello { id: NodeId(0) }.kind(), "hello");
+        assert_eq!(
+            SsrMsg::Hello {
+                id: NodeId(0),
+                probe: false
+            }
+            .kind(),
+            "hello"
+        );
         assert_eq!(
             SsrMsg::Flood {
                 origin: NodeId(0),

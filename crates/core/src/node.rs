@@ -42,6 +42,7 @@ const TOKEN_RETRY_LEFT: u64 = 1;
 const TOKEN_RETRY_RIGHT: u64 = 2;
 const TOKEN_DISCOVER: u64 = 3;
 const TOKEN_AUDIT: u64 = 4;
+const TOKEN_HELLO: u64 = 5;
 
 /// Tuning knobs for the linearized bootstrap.
 #[derive(Clone, Copy, Debug)]
@@ -78,6 +79,13 @@ pub struct SsrConfig {
     /// Tear down delegated edges (the paper's protocol). Off = the
     /// with-memory ablation: neighbor sets only ever grow.
     pub teardown: bool,
+    /// Re-probe attempts for links whose peer never identified itself. A
+    /// single lost hello (or lost reply) would otherwise leave physical
+    /// adjacency *asymmetric* forever: the peer, already satisfied, treats
+    /// the link as ground truth while this side cannot route over it.
+    pub hello_retries: u32,
+    /// Base interval between hello re-probes (backs off exponentially).
+    pub hello_retry_interval: u64,
 }
 
 impl Default for SsrConfig {
@@ -93,6 +101,8 @@ impl Default for SsrConfig {
             audit_interval: 48,
             audit_quiet: u32::MAX,
             teardown: true,
+            hello_retries: 5,
+            hello_retry_interval: 16,
         }
     }
 }
@@ -153,6 +163,8 @@ pub struct SsrNode {
     audit_armed: bool,
     audit_quiet_rounds: u32,
     audit_last_sig: u64,
+    /// Hello re-probe rounds used so far (reset when a link comes up).
+    hello_round: u32,
     /// Data probes that reached this node: `(source, physical hops)`.
     delivered_probes: Vec<(NodeId, u32)>,
 }
@@ -185,6 +197,7 @@ impl SsrNode {
             audit_armed: false,
             audit_quiet_rounds: 0,
             audit_last_sig: 0,
+            hello_round: 0,
             delivered_probes: Vec::new(),
         }
     }
@@ -343,6 +356,18 @@ impl SsrNode {
         self.nbr_id.insert(index, id);
     }
 
+    /// Injects an arbitrary *unpinned* route-cache entry — chaos-harness
+    /// setup for stale or fabricated cache routes (the hops need not be
+    /// physically adjacent; forwarding over them must degrade gracefully,
+    /// never panic).
+    ///
+    /// # Panics
+    /// Panics unless the route starts at this node.
+    pub fn inject_cache_route(&mut self, route: SourceRoute) {
+        assert_eq!(route.src(), self.id, "cache route must start here");
+        self.cache.insert(route, false);
+    }
+
     // -- internals ---------------------------------------------------------
 
     /// Records `route` (me → someone) as a *virtual neighbor*: pinned cache
@@ -366,7 +391,17 @@ impl SsrNode {
     fn drop_neighbor(&mut self, other: NodeId) {
         self.left.remove(&other);
         self.right.remove(&other);
-        self.cache.unpin(other);
+        self.unpin_unless_phys(other);
+    }
+
+    /// Unpins `other`'s cached route unless `other` is a current physical
+    /// neighbor. Physical adjacency is locally-known ground truth: its
+    /// one-hop route stays pinned so LSN retention can never evict the
+    /// knowledge the union-graph connectivity invariant depends on.
+    fn unpin_unless_phys(&mut self, other: NodeId) {
+        if !self.nbr_index.contains_key(&other) {
+            self.cache.unpin(other);
+        }
     }
 
     /// Sends `payload` source-routed along `route` (which must start at this
@@ -465,15 +500,27 @@ impl SsrNode {
             // source route may silently be dead. Drop the unresponsive
             // endpoints (their routes too): live nodes re-enter via hellos
             // and fresh notifications; ghosts stay gone.
+            //
+            // Exception: a *current physical neighbor* is never a ghost —
+            // the link is up, so a one-hop direct route cannot be dead.
+            // Forgetting it here would violate the E_p ⊆ knowledge
+            // invariant the linearization convergence argument rests on:
+            // a burst of loss exhausting the retries could then sever the
+            // only knowledge bridge across an address gap and freeze the
+            // whole system short of consistency. Re-adopt the direct edge
+            // instead and let `act` linearize it again once the burst ends.
             let p = *p;
             *slot = None;
-            if !p.keep_acked {
-                self.drop_neighbor(p.keep);
-                self.cache.remove(p.keep);
-            }
-            if !p.drop_acked {
-                self.drop_neighbor(p.drop);
-                self.cache.remove(p.drop);
+            for (ep, acked) in [(p.keep, p.keep_acked), (p.drop, p.drop_acked)] {
+                if acked {
+                    continue;
+                }
+                if self.nbr_index.contains_key(&ep) {
+                    self.adopt_neighbor(SourceRoute::direct(self.id, ep));
+                } else {
+                    self.drop_neighbor(ep);
+                    self.cache.remove(ep);
+                }
             }
             self.schedule_act(ctx);
             return;
@@ -696,7 +743,7 @@ impl SsrNode {
                         self.wrap_succ = Some(origin);
                         // the displaced claimant learns about the smaller one
                         self.introduce(ctx, cur, origin, seq);
-                        self.cache.unpin(cur);
+                        self.unpin_unless_phys(cur);
                         self.close_ring_reply(ctx, &to_origin, dir, &path);
                     }
                     Some(cur) => {
@@ -726,7 +773,7 @@ impl SsrNode {
                         self.cache.insert(to_origin.clone(), true);
                         self.wrap_pred = Some(origin);
                         self.introduce(ctx, cur, origin, seq);
-                        self.cache.unpin(cur);
+                        self.unpin_unless_phys(cur);
                         self.close_ring_reply(ctx, &to_origin, dir, &path);
                     }
                     Some(cur) => {
@@ -791,7 +838,7 @@ impl SsrNode {
                         self.wrap_pred = Some(acceptor);
                         let seq = self.seq.bump();
                         self.introduce(ctx, cur, acceptor, seq);
-                        self.cache.unpin(cur);
+                        self.unpin_unless_phys(cur);
                     }
                     Some(cur) => {
                         // current is better: tell the lesser acceptor
@@ -816,7 +863,7 @@ impl SsrNode {
                         self.wrap_succ = Some(acceptor);
                         let seq = self.seq.bump();
                         self.introduce(ctx, cur, acceptor, seq);
-                        self.cache.unpin(cur);
+                        self.unpin_unless_phys(cur);
                     }
                     Some(cur) => {
                         self.cache.insert(path, false);
@@ -933,7 +980,7 @@ impl SsrNode {
                         }
                         if self.config.teardown {
                             self.teardown_to(ctx, drop);
-                            self.cache.unpin(drop);
+                            self.unpin_unless_phys(drop);
                         }
                         self.schedule_act(ctx);
                     }
@@ -967,16 +1014,63 @@ impl SsrNode {
     }
 
     /// Handles a link-local hello: learn the neighbor, adopt it as a
-    /// virtual neighbor (`E_v ⊇ E_p`), and reply once if it is new.
-    fn handle_hello(&mut self, ctx: &mut Ctx<'_, SsrMsg>, from_idx: usize, id: NodeId) {
+    /// virtual neighbor (`E_v ⊇ E_p`), and reply if it is new *or* the
+    /// sender asked (a probe means the sender may still be blind to us —
+    /// staying silent would leave the adjacency asymmetric for good).
+    fn handle_hello(
+        &mut self,
+        ctx: &mut Ctx<'_, SsrMsg>,
+        from_idx: usize,
+        id: NodeId,
+        probe: bool,
+    ) {
         let known = self.nbr_id.get(&from_idx) == Some(&id);
         self.nbr_index.insert(id, from_idx);
         self.nbr_id.insert(from_idx, id);
         self.adopt_neighbor(SourceRoute::direct(self.id, id));
+        if !known || probe {
+            ctx.send(
+                from_idx,
+                SsrMsg::Hello {
+                    id: self.id,
+                    probe: false,
+                },
+            );
+        }
         if !known {
-            ctx.send(from_idx, SsrMsg::Hello { id: self.id });
             self.schedule_act(ctx);
         }
+    }
+
+    /// Re-probes every link whose peer has not identified itself yet, with
+    /// exponential backoff up to `hello_retries` rounds. Lossy links can
+    /// swallow both the initial broadcast and the solicited reply; without
+    /// this sweep the resulting one-way adjacency view never heals and
+    /// source routes built over it by the peer are dead on arrival.
+    fn hello_sweep(&mut self, ctx: &mut Ctx<'_, SsrMsg>) {
+        let unidentified: Vec<usize> = ctx
+            .neighbors()
+            .iter()
+            .copied()
+            .filter(|idx| !self.nbr_id.contains_key(idx))
+            .collect();
+        if unidentified.is_empty() || self.hello_round >= self.config.hello_retries {
+            return;
+        }
+        for idx in unidentified {
+            ctx.send(
+                idx,
+                SsrMsg::Hello {
+                    id: self.id,
+                    probe: true,
+                },
+            );
+        }
+        self.hello_round += 1;
+        ctx.set_timer(
+            self.config.hello_retry_interval << self.hello_round,
+            TOKEN_HELLO,
+        );
     }
 }
 
@@ -993,13 +1087,17 @@ impl Protocol for SsrNode {
     type Msg = SsrMsg;
 
     fn on_init(&mut self, ctx: &mut Ctx<'_, SsrMsg>) {
-        ctx.broadcast(SsrMsg::Hello { id: self.id });
+        ctx.broadcast(SsrMsg::Hello {
+            id: self.id,
+            probe: true,
+        });
         ctx.set_timer(self.config.act_delay, TOKEN_ACT);
+        ctx.set_timer(self.config.hello_retry_interval, TOKEN_HELLO);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, SsrMsg>, from: usize, msg: SsrMsg) {
         match msg {
-            SsrMsg::Hello { id } => self.handle_hello(ctx, from, id),
+            SsrMsg::Hello { id, probe } => self.handle_hello(ctx, from, id, probe),
             SsrMsg::Forward(mut env) => {
                 let Some(&holder) = env.route.get(env.pos) else {
                     ctx.metrics().incr("fwd.misrouted");
@@ -1040,6 +1138,7 @@ impl Protocol for SsrNode {
                 self.disc_ccw_out = false;
                 self.maybe_discover(ctx);
             }
+            TOKEN_HELLO => self.hello_sweep(ctx),
             TOKEN_AUDIT => {
                 self.audit_armed = false;
                 let sig = self.audit_signature();
@@ -1059,7 +1158,17 @@ impl Protocol for SsrNode {
     }
 
     fn on_neighbor_up(&mut self, ctx: &mut Ctx<'_, SsrMsg>, neighbor: usize) {
-        ctx.send(neighbor, SsrMsg::Hello { id: self.id });
+        ctx.send(
+            neighbor,
+            SsrMsg::Hello {
+                id: self.id,
+                probe: true,
+            },
+        );
+        // a fresh link restarts the identification sweep: its hello (or the
+        // reply) can be lost just like the boot-time broadcast
+        self.hello_round = 0;
+        ctx.set_timer(self.config.hello_retry_interval, TOKEN_HELLO);
     }
 
     fn on_neighbor_down(&mut self, ctx: &mut Ctx<'_, SsrMsg>, neighbor: usize) {

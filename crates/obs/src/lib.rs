@@ -24,5 +24,5 @@ pub mod manifest;
 pub mod report;
 
 pub use json::{parse, Value};
-pub use manifest::{git_describe, Manifest, TimelinePoint, SCHEMA};
+pub use manifest::{git_describe, ChaosScenario, Manifest, TimelinePoint, SCHEMA};
 pub use report::{diff, summarize, time_to_consistency, TraceFilter};

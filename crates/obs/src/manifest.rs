@@ -21,7 +21,39 @@ use ssr_sim::Metrics;
 use crate::json::Value;
 
 /// Manifest schema identifier, bumped on breaking field changes.
-pub const SCHEMA: &str = "ssr-obs/1";
+///
+/// `ssr-obs/2` added the optional `chaos` array: one entry per chaos
+/// scenario run, carrying the watchdog verdict and the recovery cost
+/// measured from the end of the fault window (see README §Observability).
+pub const SCHEMA: &str = "ssr-obs/2";
+
+/// One chaos-scenario outcome as recorded in a manifest (`chaos` array,
+/// schema `ssr-obs/2`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosScenario {
+    /// Scenario name (`baseline`, `loss`, `partition`, `corrupt-wound`, …).
+    pub name: String,
+    /// Network size.
+    pub n: u64,
+    /// Per-run seed.
+    pub seed: u64,
+    /// Watchdog verdict label: `converged`, `frozen_crossing`,
+    /// `frozen_stuck`, or `active`.
+    pub verdict: String,
+    /// Ticks from fault onset (tick 0 for corrupted starts) to stable
+    /// (re-)convergence.
+    pub recovery_ticks: u64,
+    /// Transmissions from fault onset to stable (re-)convergence.
+    pub recovery_msgs: u64,
+    /// Flood messages over the whole run (zero for linearized SSR).
+    pub floods: u64,
+    /// Invariant-checker samples where the physical ∪ virtual union graph
+    /// was disconnected after the checker armed.
+    pub union_disconnected: u64,
+    /// Armed invariant-checker samples where the linearization potential
+    /// rose between audits (expected rare; see DESIGN.md finding 1).
+    pub potential_rises: u64,
+}
 
 /// One point of the convergence timeline as recorded in a manifest.
 #[derive(Clone, Debug, PartialEq)]
@@ -53,6 +85,7 @@ pub struct Manifest {
     hists: Vec<(String, Value)>,
     series: Vec<Value>,
     timeline: Vec<TimelinePoint>,
+    chaos: Vec<ChaosScenario>,
     extra: Vec<(String, Value)>,
 }
 
@@ -160,6 +193,17 @@ impl Manifest {
         self.timeline.len()
     }
 
+    /// Appends one chaos-scenario outcome (`chaos` array, `ssr-obs/2`).
+    pub fn chaos_scenario(&mut self, scenario: ChaosScenario) -> &mut Self {
+        self.chaos.push(scenario);
+        self
+    }
+
+    /// The number of chaos scenarios recorded so far.
+    pub fn chaos_len(&self) -> usize {
+        self.chaos.len()
+    }
+
     /// The manifest as a JSON value (fixed field order).
     pub fn to_value(&self) -> Value {
         let mut fields: Vec<(String, Value)> = vec![
@@ -215,6 +259,29 @@ impl Manifest {
                     .collect(),
             ),
         ));
+        if !self.chaos.is_empty() {
+            fields.push((
+                "chaos".into(),
+                Value::Arr(
+                    self.chaos
+                        .iter()
+                        .map(|s| {
+                            Value::Obj(vec![
+                                ("name".into(), s.name.as_str().into()),
+                                ("n".into(), s.n.into()),
+                                ("seed".into(), s.seed.into()),
+                                ("verdict".into(), s.verdict.as_str().into()),
+                                ("recovery_ticks".into(), s.recovery_ticks.into()),
+                                ("recovery_msgs".into(), s.recovery_msgs.into()),
+                                ("floods".into(), s.floods.into()),
+                                ("union_disconnected".into(), s.union_disconnected.into()),
+                                ("potential_rises".into(), s.potential_rises.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
         if !self.extra.is_empty() {
             fields.push(("extra".into(), Value::Obj(self.extra.clone())));
         }
@@ -357,6 +424,34 @@ mod tests {
         assert_eq!(v.get("series").unwrap().as_arr().unwrap().len(), 2);
         // wall_ms never set → absent
         assert!(v.get("wall_ms").is_none());
+    }
+
+    #[test]
+    fn chaos_section_round_trips() {
+        let mut man = Manifest::new("exp_chaos");
+        man.seed(1).chaos_scenario(ChaosScenario {
+            name: "partition".into(),
+            n: 50,
+            seed: 3,
+            verdict: "converged".into(),
+            recovery_ticks: 412,
+            recovery_msgs: 901,
+            floods: 0,
+            union_disconnected: 0,
+            potential_rises: 1,
+        });
+        assert_eq!(man.chaos_len(), 1);
+        let v = parse(&man.to_json()).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("ssr-obs/2"));
+        let chaos = v.get("chaos").unwrap().as_arr().unwrap();
+        assert_eq!(chaos.len(), 1);
+        assert_eq!(chaos[0].get("name").unwrap().as_str(), Some("partition"));
+        assert_eq!(chaos[0].get("verdict").unwrap().as_str(), Some("converged"));
+        assert_eq!(chaos[0].get("recovery_ticks").unwrap().as_u64(), Some(412));
+        assert_eq!(chaos[0].get("floods").unwrap().as_u64(), Some(0));
+        // manifests without scenarios carry no chaos field at all
+        let plain = parse(&Manifest::new("exp_x").to_json()).unwrap();
+        assert!(plain.get("chaos").is_none());
     }
 
     #[test]

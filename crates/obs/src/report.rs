@@ -86,7 +86,42 @@ pub fn summarize(manifest: &Value) -> String {
             }
         }
     }
+    if let Some(chaos) = manifest.get("chaos").and_then(|c| c.as_arr()) {
+        if !chaos.is_empty() {
+            let _ = writeln!(out, "\nchaos scenarios ({}):", chaos.len());
+            for s in chaos {
+                let _ = writeln!(
+                    out,
+                    "  {:<24} n={:<5} seed={:<4} verdict={:<16} recovery={} ticks / {} msgs  floods={}",
+                    chaos_key(s),
+                    s.get("n").and_then(|v| v.as_u64()).unwrap_or(0),
+                    s.get("seed").and_then(|v| v.as_u64()).unwrap_or(0),
+                    s.get("verdict").and_then(|v| v.as_str()).unwrap_or("?"),
+                    s.get("recovery_ticks").and_then(|v| v.as_u64()).unwrap_or(0),
+                    s.get("recovery_msgs").and_then(|v| v.as_u64()).unwrap_or(0),
+                    s.get("floods").and_then(|v| v.as_u64()).unwrap_or(0),
+                );
+            }
+        }
+    }
     out
+}
+
+/// Scenario name of one `chaos` array entry.
+fn chaos_key(s: &Value) -> String {
+    s.get("name")
+        .and_then(|v| v.as_str())
+        .unwrap_or("?")
+        .to_string()
+}
+
+/// Identity of one chaos entry for cross-manifest matching.
+fn chaos_identity(s: &Value) -> (String, u64, u64) {
+    (
+        chaos_key(s),
+        s.get("n").and_then(|v| v.as_u64()).unwrap_or(0),
+        s.get("seed").and_then(|v| v.as_u64()).unwrap_or(0),
+    )
 }
 
 /// Collapses a timeline to its shape-change points (plus the final sample),
@@ -240,6 +275,72 @@ pub fn diff(a: &Value, b: &Value) -> String {
         );
     }
 
+    // --- chaos recovery ---------------------------------------------------
+    // When both manifests carry a chaos timeline (ssr-obs/2), compare
+    // recovery cost and watchdog verdicts per scenario identity.
+    let chaos_arr = |m: &Value| -> Vec<Value> {
+        m.get("chaos")
+            .and_then(|c| c.as_arr())
+            .map(|arr| arr.to_vec())
+            .unwrap_or_default()
+    };
+    let cha = chaos_arr(a);
+    let chb = chaos_arr(b);
+    if !cha.is_empty() && !chb.is_empty() {
+        let mut chaos_lines = Vec::new();
+        for sa in &cha {
+            let id = chaos_identity(sa);
+            let Some(sb) = chb.iter().find(|s| chaos_identity(s) == id) else {
+                chaos_lines.push(format!("  {:<24} only in A", id.0));
+                continue;
+            };
+            let num = |s: &Value, k: &str| s.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+            let verdict = |s: &Value| {
+                s.get("verdict")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("?")
+                    .to_string()
+            };
+            let (va, vb) = (verdict(sa), verdict(sb));
+            let mut parts = Vec::new();
+            if va != vb {
+                parts.push(format!("verdict {va} -> {vb}"));
+            }
+            for key in ["recovery_ticks", "recovery_msgs"] {
+                let (x, y) = (num(sa, key), num(sb, key));
+                if x != y {
+                    parts.push(format!("{key} {x} -> {y} ({})", delta(x, y)));
+                }
+            }
+            if !parts.is_empty() {
+                let flag = if vb.starts_with("frozen") && !va.starts_with("frozen") {
+                    "  ** regression (froze) **"
+                } else {
+                    ""
+                };
+                chaos_lines.push(format!(
+                    "  {:<24} n={} seed={}: {}{flag}",
+                    id.0,
+                    id.1,
+                    id.2,
+                    parts.join(", ")
+                ));
+            }
+        }
+        for sb in &chb {
+            if !cha.iter().any(|s| chaos_identity(s) == chaos_identity(sb)) {
+                chaos_lines.push(format!("  {:<24} only in B", chaos_key(sb)));
+            }
+        }
+        if !chaos_lines.is_empty() {
+            differences += chaos_lines.len();
+            let _ = writeln!(out, "\nchaos recovery deltas:");
+            for l in chaos_lines {
+                let _ = writeln!(out, "{l}");
+            }
+        }
+    }
+
     if differences == 0 {
         let _ = writeln!(out, "\nno differences");
     }
@@ -326,6 +427,7 @@ pub fn format_trace_line(rec: &Value) -> String {
         ),
         "fault" => format!("[{at:>8}] {ev:<8} {}", text("desc")),
         "note" => format!("[{at:>8}] {ev:<8} node {}: {}", num("node"), text("text")),
+        "diag" => format!("[{at:>8}] {ev:<8} {}: {}", text("source"), text("text")),
         other => format!("[{at:>8}] {other} {}", rec.to_json()),
     }
 }
@@ -394,6 +496,45 @@ mod tests {
         assert!(d.contains("no differences"), "{d}");
     }
 
+    fn chaos_manifest(verdict: &str, recovery_ticks: u64, recovery_msgs: u64) -> Value {
+        let mut man = Manifest::new("exp_chaos");
+        man.seed(0).chaos_scenario(crate::manifest::ChaosScenario {
+            name: "partition".into(),
+            n: 50,
+            seed: 3,
+            verdict: verdict.into(),
+            recovery_ticks,
+            recovery_msgs,
+            floods: 0,
+            union_disconnected: 0,
+            potential_rises: 0,
+        });
+        parse(&man.to_json()).unwrap()
+    }
+
+    #[test]
+    fn summarize_shows_chaos_scenarios() {
+        let s = summarize(&chaos_manifest("converged", 412, 900));
+        assert!(s.contains("chaos scenarios (1):"), "{s}");
+        assert!(s.contains("partition"), "{s}");
+        assert!(s.contains("verdict=converged"), "{s}");
+        assert!(s.contains("recovery=412 ticks / 900 msgs"), "{s}");
+    }
+
+    #[test]
+    fn diff_reports_chaos_recovery_and_verdicts() {
+        let a = chaos_manifest("converged", 412, 900);
+        let b = chaos_manifest("frozen_crossing", 5104, 4000);
+        let d = diff(&a, &b);
+        assert!(d.contains("chaos recovery deltas:"), "{d}");
+        assert!(d.contains("verdict converged -> frozen_crossing"), "{d}");
+        assert!(d.contains("recovery_ticks 412 -> 5104"), "{d}");
+        assert!(d.contains("** regression (froze) **"), "{d}");
+        // identical chaos sections stay silent
+        let d = diff(&a, &a);
+        assert!(d.contains("no differences"), "{d}");
+    }
+
     #[test]
     fn time_to_consistency_handles_missing() {
         let v = parse("{\"timeline\":[{\"tick\":5,\"shape\":\"loopy(2)\"}]}").unwrap();
@@ -443,5 +584,10 @@ mod tests {
         assert!(line.contains("kind=notify"));
         let note = parse("{\"ev\":\"note\",\"at\":3,\"node\":7,\"text\":\"x\"}").unwrap();
         assert!(format_trace_line(&note).contains("node 7: x"));
+        let diag = parse("{\"ev\":\"diag\",\"at\":96,\"source\":\"watchdog\",\"text\":\"frozen\"}")
+            .unwrap();
+        let line = format_trace_line(&diag);
+        assert!(line.contains("diag"), "{line}");
+        assert!(line.contains("watchdog: frozen"), "{line}");
     }
 }

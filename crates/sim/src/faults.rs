@@ -41,6 +41,18 @@ pub enum Fault {
         /// Other endpoint.
         b: usize,
     },
+    /// Sever every physical link between distinct groups, splitting the
+    /// topology into (at least) `groups.len()` components for a window.
+    /// Nodes absent from every group keep all their links. The cut edges
+    /// are remembered and restored by the next [`Fault::Heal`].
+    Partition {
+        /// Disjoint node groups; cross-group edges are cut.
+        groups: Vec<Vec<usize>>,
+    },
+    /// Restore every link cut by partitions since the last heal (links
+    /// whose endpoints are both alive; edges re-created by other means in
+    /// the meantime are left untouched).
+    Heal,
 }
 
 /// A scheduled fault.
@@ -125,6 +137,27 @@ pub fn poisson_link_flap_trace(
     out
 }
 
+/// Splits `0..n` into `k` disjoint random groups (each non-empty) for a
+/// [`Fault::Partition`]. Group sizes are as equal as the division allows.
+///
+/// # Panics
+/// Panics unless `1 <= k <= n`.
+pub fn partition_groups(n: usize, k: usize, rng: &mut Rng) -> Vec<Vec<usize>> {
+    assert!(k >= 1 && k <= n, "need 1 <= k <= n");
+    let mut nodes: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut nodes);
+    let base = n / k;
+    let extra = n % k;
+    let mut groups = Vec::with_capacity(k);
+    let mut off = 0;
+    for g in 0..k {
+        let len = base + usize::from(g < extra);
+        groups.push(nodes[off..off + len].to_vec());
+        off += len;
+    }
+    groups
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +220,30 @@ mod tests {
         let mut rng = Rng::new(4);
         let trace = poisson_link_flap_trace(&[], Time(0), Time(100), 0.5, 1, &mut rng);
         assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn partition_groups_cover_all_nodes_disjointly() {
+        let mut rng = Rng::new(6);
+        for k in 1..=5 {
+            let groups = partition_groups(11, k, &mut rng);
+            assert_eq!(groups.len(), k);
+            let mut seen: Vec<usize> = groups.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..11).collect::<Vec<_>>(), "k={k}");
+            assert!(groups.iter().all(|g| !g.is_empty()));
+            // balanced within one node
+            let sizes: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k <= n")]
+    fn partition_groups_rejects_k_above_n() {
+        let mut rng = Rng::new(7);
+        partition_groups(3, 4, &mut rng);
     }
 
     #[test]

@@ -9,12 +9,17 @@
 //!   never teleport state across the network; SSR source routes and VRR path
 //!   state must be forwarded hop by hop, and every per-link transmission is
 //!   metered (that is what makes the flooding-cost experiment E6 honest);
-//! * per-link latency and loss are configurable ([`link`]);
+//! * per-link latency, loss, duplication and bounded-delay reordering are
+//!   configurable ([`link`]), globally or per link direction
+//!   ([`Simulator::set_link_override`]);
 //! * execution is fully deterministic for a given seed: the event queue
 //!   breaks timestamp ties by insertion sequence, and all randomness flows
 //!   from one [`ssr_types::Rng`];
-//! * nodes can crash, join, and lose links mid-run ([`faults`]), which is
-//!   how the churn experiment E8 exercises self-stabilization.
+//! * nodes can crash, join, lose links, and partition into components
+//!   mid-run ([`faults`]), which is how the churn experiment E8 and the
+//!   chaos experiment E11 exercise self-stabilization;
+//! * a generic freeze [`watchdog`] classifies livelock /
+//!   fixpoint-without-convergence instead of burning the tick budget.
 //!
 //! Protocols implement the [`Protocol`] trait and interact with the world
 //! through a [`Ctx`] handed to each callback.
@@ -29,9 +34,11 @@ pub mod metrics;
 pub mod sim;
 pub mod time;
 pub mod trace;
+pub mod watchdog;
 
 pub use link::LinkConfig;
 pub use metrics::{merge_series, Histogram, Metrics, SeriesPoint};
 pub use sim::{Ctx, ProbeView, Protocol, RunOutcome, Simulator};
 pub use time::Time;
 pub use trace::{TraceEvent, TraceSink};
+pub use watchdog::{shared_watchdog, watchdog_probe, SharedWatchdog, Verdict, WatchdogState};

@@ -1,10 +1,14 @@
-//! Link models: per-hop latency and loss.
+//! Link models: per-hop latency, loss, duplication and reordering.
 //!
 //! The default — latency 1 tick, no loss — makes simulated time coincide
 //! with the synchronous round model that the convergence results are stated
 //! in. Jittered latency and loss are used by the robustness variants of the
-//! experiments (linearization is self-stabilizing, so it must converge under
-//! both).
+//! experiments; duplication and bounded-delay reordering complete the
+//! adversarial link model used by the chaos harness (linearization is
+//! self-stabilizing, so it must converge under all of them). A
+//! [`LinkConfig`] describes one *direction* of a link: the simulator applies
+//! a global default but accepts per-direction overrides, so asymmetric loss
+//! falls out naturally.
 
 use ssr_types::Rng;
 
@@ -36,13 +40,24 @@ impl Latency {
     }
 }
 
-/// Configuration of every link in the network.
+/// Configuration of one link direction (or, as the simulator default, of
+/// every link in the network).
 #[derive(Clone, Copy, Debug)]
 pub struct LinkConfig {
     /// Per-hop latency model.
     pub latency: Latency,
     /// Probability that a transmission is lost (per hop, i.i.d.).
     pub drop_prob: f64,
+    /// Probability that a transmission is duplicated (per hop, i.i.d.).
+    /// Each copy is metered and samples loss/latency independently.
+    pub dup_prob: f64,
+    /// Probability that a transmission is delayed by an extra uniform
+    /// `1..=reorder_window` ticks — the bounded-delay adversary. With
+    /// FIFO tie-breaking this is what makes later sends overtake
+    /// earlier ones.
+    pub reorder_prob: f64,
+    /// Maximum extra delay (in ticks) a reordered transmission suffers.
+    pub reorder_window: u64,
 }
 
 impl Default for LinkConfig {
@@ -50,6 +65,9 @@ impl Default for LinkConfig {
         LinkConfig {
             latency: Latency::Fixed(1),
             drop_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_window: 0,
         }
     }
 }
@@ -67,8 +85,8 @@ impl LinkConfig {
             "drop probability must be in [0,1)"
         );
         LinkConfig {
-            latency: Latency::Fixed(1),
             drop_prob,
+            ..Self::default()
         }
     }
 
@@ -76,8 +94,52 @@ impl LinkConfig {
     pub fn jittered(min: u64, max: u64) -> Self {
         LinkConfig {
             latency: Latency::Uniform { min, max },
-            drop_prob: 0.0,
+            ..Self::default()
         }
+    }
+
+    /// Returns `self` with the given duplication probability.
+    pub fn with_dup(mut self, dup_prob: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&dup_prob),
+            "duplication probability must be in [0,1)"
+        );
+        self.dup_prob = dup_prob;
+        self
+    }
+
+    /// Returns `self` with bounded-delay reordering: with probability
+    /// `reorder_prob` a transmission is held back an extra uniform
+    /// `1..=window` ticks.
+    pub fn with_reorder(mut self, reorder_prob: f64, window: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&reorder_prob),
+            "reorder probability must be in [0,1)"
+        );
+        assert!(window >= 1, "reorder window must be at least 1 tick");
+        self.reorder_prob = reorder_prob;
+        self.reorder_window = window;
+        self
+    }
+
+    /// Returns `self` with the given loss probability (keeps everything
+    /// else — composes with [`LinkConfig::with_dup`]/[`LinkConfig::with_reorder`]).
+    pub fn with_drop(mut self, drop_prob: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&drop_prob),
+            "drop probability must be in [0,1)"
+        );
+        self.drop_prob = drop_prob;
+        self
+    }
+
+    /// The full adversary: loss, duplication and bounded-delay reordering
+    /// at once.
+    pub fn adversarial(drop_prob: f64, dup_prob: f64, reorder_prob: f64, window: u64) -> Self {
+        Self::default()
+            .with_drop(drop_prob)
+            .with_dup(dup_prob)
+            .with_reorder(reorder_prob, window)
     }
 }
 
@@ -124,5 +186,29 @@ mod tests {
     #[should_panic(expected = "drop probability")]
     fn lossy_rejects_certain_loss() {
         LinkConfig::lossy(1.0);
+    }
+
+    #[test]
+    fn adversarial_composes_all_knobs() {
+        let cfg = LinkConfig::adversarial(0.1, 0.2, 0.3, 8);
+        assert!((cfg.drop_prob - 0.1).abs() < 1e-12);
+        assert!((cfg.dup_prob - 0.2).abs() < 1e-12);
+        assert!((cfg.reorder_prob - 0.3).abs() < 1e-12);
+        assert_eq!(cfg.reorder_window, 8);
+        let quiet = LinkConfig::ideal();
+        assert_eq!(quiet.dup_prob, 0.0);
+        assert_eq!(quiet.reorder_prob, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reorder window")]
+    fn zero_reorder_window_rejected() {
+        let _ = LinkConfig::ideal().with_reorder(0.1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplication probability")]
+    fn certain_duplication_rejected() {
+        let _ = LinkConfig::ideal().with_dup(1.0);
     }
 }

@@ -14,10 +14,10 @@
 //!
 //! | prefix     | written by      | meaning                                          |
 //! |------------|-----------------|--------------------------------------------------|
-//! | `tx.*`     | simulator       | link-layer transmission outcomes: `tx.total` (every hop handed to the link layer), `tx.dropped` (link loss), `tx.lost_in_flight` (endpoint died / link vanished mid-flight) |
+//! | `tx.*`     | simulator       | link-layer transmission outcomes: `tx.total` (every hop handed to the link layer, duplicates included), `tx.dropped` (link loss), `tx.lost_in_flight` (endpoint died / link vanished mid-flight), `tx.dup` (adversarial duplications), `tx.reordered` (bounded-delay reorderings) |
 //! | `rx.*`     | simulator       | deliveries to protocols: `rx.total`              |
 //! | `msg.*`    | simulator       | per-kind transmission counts from [`crate::Protocol::kind`]; **`counter_sum("msg.")` always equals `tx.total`** (kinds are counted at transmit time, before loss sampling) |
-//! | `fault.*`  | simulator       | applied faults: `fault.crash`, `fault.join`, `fault.link_down`, `fault.link_up` |
+//! | `fault.*`  | simulator       | applied faults: `fault.crash`, `fault.join`, `fault.join_dead_link` (requested link to a down peer), `fault.link_down`, `fault.link_up`, `fault.partition` / `fault.partition_cut` (severed cross-group edges), `fault.heal` / `fault.heal_link` (restored edges) |
 //! | `probe.*`  | probe layer     | observer-side counters (e.g. `probe.samples`)    |
 //! | other      | protocols/exps  | protocol- or experiment-specific counters, ideally `"<crate>."`-prefixed |
 //!

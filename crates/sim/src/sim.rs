@@ -1,5 +1,7 @@
 //! The simulator core: protocol trait, context, and event loop.
 
+use std::collections::BTreeMap;
+
 use ssr_graph::Graph;
 use ssr_types::Rng;
 
@@ -166,6 +168,9 @@ pub struct ProbeView<'a, P: Protocol> {
     pub alive: &'a [bool],
     /// The run's metrics registry (mutable: probes may record).
     pub metrics: &'a mut Metrics,
+    /// The run's trace sink — probes (e.g. the freeze watchdog) may emit
+    /// structured diagnostics into it.
+    pub trace: &'a TraceSink,
     /// Number of events still queued.
     pub pending_events: usize,
     /// Total events processed so far.
@@ -213,6 +218,12 @@ pub struct Simulator<P: Protocol> {
     queue: EventQueue<P::Msg>,
     now: Time,
     cfg: LinkConfig,
+    /// Per-direction link overrides: `(from, to)` → config. Directed, so
+    /// asymmetric loss/latency is expressed by overriding one direction.
+    link_overrides: BTreeMap<(usize, usize), LinkConfig>,
+    /// Edges cut by the most recent `Fault::Partition`, restored by
+    /// `Fault::Heal`.
+    severed: Vec<(usize, usize)>,
     rng: Rng,
     metrics: Metrics,
     trace: TraceSink,
@@ -253,6 +264,8 @@ impl<P: Protocol> Simulator<P> {
             queue: EventQueue::new(),
             now: Time::ZERO,
             cfg,
+            link_overrides: BTreeMap::new(),
+            severed: Vec::new(),
             rng: Rng::new(seed),
             metrics: Metrics::new(),
             trace,
@@ -320,6 +333,35 @@ impl<P: Protocol> Simulator<P> {
         self.queue.len()
     }
 
+    /// Overrides the link configuration for the single direction
+    /// `from → to` — transmissions in that direction use `cfg` instead of
+    /// the global default. Overriding only one direction yields asymmetric
+    /// loss/latency; override both (or use
+    /// [`Simulator::set_link_override_sym`]) for a symmetric adversarial
+    /// link. Installing an override for a non-existent edge is allowed (it
+    /// simply applies once such an edge appears via `LinkUp`/`Join`).
+    pub fn set_link_override(&mut self, from: usize, to: usize, cfg: LinkConfig) {
+        assert!(from != to, "a link needs two distinct endpoints");
+        self.link_overrides.insert((from, to), cfg);
+    }
+
+    /// Overrides both directions of the link `a ↔ b` with the same config.
+    pub fn set_link_override_sym(&mut self, a: usize, b: usize, cfg: LinkConfig) {
+        self.set_link_override(a, b, cfg);
+        self.set_link_override(b, a, cfg);
+    }
+
+    /// Removes all per-direction link overrides (back to the global
+    /// default).
+    pub fn clear_link_overrides(&mut self) {
+        self.link_overrides.clear();
+    }
+
+    /// The effective link configuration for the direction `from → to`.
+    pub fn link_config(&self, from: usize, to: usize) -> LinkConfig {
+        *self.link_overrides.get(&(from, to)).unwrap_or(&self.cfg)
+    }
+
     /// Schedules a fault at absolute time `at` (must not be in the past).
     pub fn schedule_fault(&mut self, at: Time, fault: Fault) {
         assert!(at >= self.now, "fault scheduled in the past");
@@ -382,6 +424,7 @@ impl<P: Protocol> Simulator<P> {
                 topology: &self.topo,
                 alive: &self.alive,
                 metrics: &mut self.metrics,
+                trace: &self.trace,
                 pending_events: self.queue.len(),
                 events_processed: self.events_processed,
             };
@@ -518,8 +561,22 @@ impl<P: Protocol> Simulator<P> {
         self.action_buf = actions;
     }
 
-    /// Link-layer transmission: meters the hop, samples loss and latency.
+    /// Link-layer transmission: applies the effective per-direction config —
+    /// duplication first (each copy is a metered, independent transmission),
+    /// then per-copy loss, latency, and bounded-delay reordering.
     fn transmit(&mut self, from: usize, to: usize, msg: P::Msg) {
+        let cfg = self.link_config(from, to);
+        if cfg.dup_prob > 0.0 && self.rng.chance(cfg.dup_prob) {
+            self.metrics.incr("tx.dup");
+            self.transmit_copy(from, to, msg.clone(), &cfg);
+        }
+        self.transmit_copy(from, to, msg, &cfg);
+    }
+
+    /// Transmits one copy: meters the hop (kinds are counted *before* loss
+    /// sampling, so `msg.` sums to `tx.total`), samples loss, latency and
+    /// reorder delay.
+    fn transmit_copy(&mut self, from: usize, to: usize, msg: P::Msg, cfg: &LinkConfig) {
         let kind = P::kind(&msg);
         self.metrics.incr("tx.total");
         self.metrics.incr(kind_key(kind));
@@ -531,7 +588,7 @@ impl<P: Protocol> Simulator<P> {
                 kind,
             });
         }
-        if self.cfg.drop_prob > 0.0 && self.rng.chance(self.cfg.drop_prob) {
+        if cfg.drop_prob > 0.0 && self.rng.chance(cfg.drop_prob) {
             self.metrics.incr("tx.dropped");
             if self.trace.enabled() {
                 self.trace.record(TraceEvent::Lost {
@@ -543,7 +600,11 @@ impl<P: Protocol> Simulator<P> {
             }
             return;
         }
-        let latency = self.cfg.latency.sample(&mut self.rng);
+        let mut latency = cfg.latency.sample(&mut self.rng);
+        if cfg.reorder_prob > 0.0 && self.rng.chance(cfg.reorder_prob) {
+            latency += self.rng.range(1, cfg.reorder_window.max(1) + 1);
+            self.metrics.incr("tx.reordered");
+        }
         self.metrics.observe_hist("latency.ticks", latency);
         self.queue.push(
             self.now + latency,
@@ -614,9 +675,17 @@ impl<P: Protocol> Simulator<P> {
                 self.metrics.incr("fault.join");
                 let mut fresh = Vec::new();
                 for l in links {
-                    if l != node && l < self.topo.node_count() && self.alive[l] {
+                    if l == node || l >= self.topo.node_count() {
+                        continue;
+                    }
+                    if self.alive[l] {
                         self.topo.add_edge(node, l);
                         fresh.push(l);
+                    } else {
+                        // The requested peer is down: the link cannot come
+                        // up. Count it — a rejoin trace replaying stale
+                        // links otherwise loses edges silently.
+                        self.metrics.incr("fault.join_dead_link");
                     }
                 }
                 self.protocols[node].reset();
@@ -641,6 +710,48 @@ impl<P: Protocol> Simulator<P> {
                     self.metrics.incr("fault.link_up");
                     self.dispatch(a, |p, ctx| p.on_neighbor_up(ctx, b));
                     self.dispatch(b, |p, ctx| p.on_neighbor_up(ctx, a));
+                }
+            }
+            Fault::Partition { groups } => {
+                self.metrics.incr("fault.partition");
+                // Map each grouped node to its group id; nodes absent from
+                // every group are unconstrained and keep all their links.
+                let mut group_of: BTreeMap<usize, usize> = BTreeMap::new();
+                for (gi, group) in groups.iter().enumerate() {
+                    for &u in group {
+                        group_of.insert(u, gi);
+                    }
+                }
+                let cuts: Vec<(usize, usize)> = self
+                    .topo
+                    .edges()
+                    .filter(|&(a, b)| match (group_of.get(&a), group_of.get(&b)) {
+                        (Some(ga), Some(gb)) => ga != gb,
+                        _ => false,
+                    })
+                    .collect();
+                for (a, b) in cuts {
+                    if self.topo.remove_edge(a, b) {
+                        self.metrics.incr("fault.partition_cut");
+                        self.severed.push((a, b));
+                        if self.alive[a] {
+                            self.dispatch(a, |p, ctx| p.on_neighbor_down(ctx, b));
+                        }
+                        if self.alive[b] {
+                            self.dispatch(b, |p, ctx| p.on_neighbor_down(ctx, a));
+                        }
+                    }
+                }
+            }
+            Fault::Heal => {
+                self.metrics.incr("fault.heal");
+                let severed = std::mem::take(&mut self.severed);
+                for (a, b) in severed {
+                    if self.alive[a] && self.alive[b] && self.topo.add_edge(a, b) {
+                        self.metrics.incr("fault.heal_link");
+                        self.dispatch(a, |p, ctx| p.on_neighbor_up(ctx, b));
+                        self.dispatch(b, |p, ctx| p.on_neighbor_up(ctx, a));
+                    }
                 }
             }
         }
@@ -916,6 +1027,178 @@ mod tests {
         assert!(sim.topology().has_edge(3, 4));
         // protocol state was reset; non-origin node stays unseen (flood over)
         assert!(!sim.protocol(3).seen);
+    }
+
+    /// Ping floods back and forth forever between timer fires — a steady
+    /// message source for the adversarial-link tests.
+    #[derive(Clone)]
+    struct Chatter {
+        received: u64,
+    }
+    impl Protocol for Chatter {
+        type Msg = u64;
+        fn on_init(&mut self, ctx: &mut Ctx<'_, u64>) {
+            ctx.set_timer(1, 0);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, u64>, _: usize, _: u64) {
+            self.received += 1;
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, _: u64) {
+            ctx.broadcast(1);
+            if ctx.now().ticks() < 200 {
+                ctx.set_timer(1, 0);
+            }
+        }
+        fn reset(&mut self) {
+            self.received = 0;
+        }
+    }
+
+    #[test]
+    fn duplication_preserves_metering_invariant() {
+        let topo = generators::line(2);
+        let cfg = LinkConfig::ideal().with_dup(0.4);
+        let mut sim = Simulator::new(topo, vec![Chatter { received: 0 }; 2], cfg, 17);
+        sim.run_to_quiescence(10_000);
+        let m = sim.metrics();
+        assert!(m.counter("tx.dup") > 0, "want duplicated transmissions");
+        // each duplicate is a full transmission: metered under msg.* too
+        assert_eq!(m.counter_sum("msg."), m.counter("tx.total"));
+        // every non-dropped copy is delivered (no loss configured)
+        assert_eq!(m.counter("rx.total"), m.counter("tx.total"));
+        // 2 nodes × 200 timer broadcasts = 400 originals, plus duplicates
+        assert_eq!(m.counter("tx.total"), 400 + m.counter("tx.dup"));
+    }
+
+    #[test]
+    fn reordering_delays_within_window_and_is_metered() {
+        let topo = generators::line(2);
+        let cfg = LinkConfig::ideal().with_reorder(0.5, 6);
+        let mut sim = Simulator::new(topo, vec![Chatter { received: 0 }; 2], cfg, 23);
+        sim.run_to_quiescence(10_000);
+        let m = sim.metrics();
+        assert!(m.counter("tx.reordered") > 0);
+        assert_eq!(m.counter("rx.total"), m.counter("tx.total"));
+        // latency = base 1 + extra in 1..=6, so the histogram max is ≤ 7
+        let max = m.hist("latency.ticks").unwrap().max().unwrap();
+        assert!(max <= 7, "reorder delay exceeded window: {max}");
+        assert!(max >= 2, "no reordered sample observed");
+    }
+
+    #[test]
+    fn per_link_override_gives_asymmetric_loss() {
+        // 0 → 1 loses everything short of certainty; 1 → 0 is clean.
+        let topo = generators::line(2);
+        let mut sim = Simulator::new(
+            topo,
+            vec![Chatter { received: 0 }; 2],
+            LinkConfig::ideal(),
+            31,
+        );
+        sim.set_link_override(0, 1, LinkConfig::lossy(0.99));
+        sim.run_to_quiescence(10_000);
+        // node 0 hears everything from 1; node 1 hears almost nothing
+        assert_eq!(sim.protocol(0).received, 200);
+        assert!(
+            sim.protocol(1).received < 50,
+            "lossy direction delivered {}",
+            sim.protocol(1).received
+        );
+        assert!(sim.metrics().counter("tx.dropped") > 150);
+    }
+
+    #[test]
+    fn partition_splits_and_heal_restores() {
+        let topo = generators::complete(6);
+        let edge_count = topo.edge_count();
+        let mut sim = Simulator::new(
+            topo,
+            vec![Chatter { received: 0 }; 6],
+            LinkConfig::ideal(),
+            37,
+        );
+        sim.schedule_fault(
+            Time(10),
+            Fault::Partition {
+                groups: vec![vec![0, 1, 2], vec![3, 4], vec![5]],
+            },
+        );
+        sim.run_until(Time(11));
+        // only intra-group edges survive: 0-1,0-2,1-2,3-4
+        assert_eq!(sim.topology().edge_count(), 4);
+        let (_, comps) = ssr_graph::algo::components(sim.topology());
+        assert_eq!(comps, 3);
+        assert_eq!(sim.metrics().counter("fault.partition"), 1);
+        assert_eq!(sim.metrics().counter("fault.partition_cut"), 11);
+        sim.schedule_fault(Time(20), Fault::Heal);
+        sim.run_until(Time(21));
+        assert_eq!(sim.topology().edge_count(), edge_count);
+        let (_, comps) = ssr_graph::algo::components(sim.topology());
+        assert_eq!(comps, 1);
+        assert_eq!(sim.metrics().counter("fault.heal_link"), 11);
+    }
+
+    #[test]
+    fn heal_skips_edges_to_dead_nodes() {
+        let topo = generators::complete(4);
+        let mut sim = Simulator::new(
+            topo,
+            vec![Chatter { received: 0 }; 4],
+            LinkConfig::ideal(),
+            41,
+        );
+        sim.schedule_fault(
+            Time(5),
+            Fault::Partition {
+                groups: vec![vec![0, 1], vec![2, 3]],
+            },
+        );
+        sim.schedule_fault(Time(6), Fault::Crash { node: 3 });
+        sim.schedule_fault(Time(7), Fault::Heal);
+        sim.run_until(Time(8));
+        // 0-3 and 1-3 stay down (3 is dead); 0-2 and 1-2 come back
+        assert!(sim.topology().has_edge(0, 2));
+        assert!(sim.topology().has_edge(1, 2));
+        assert!(!sim.topology().has_edge(0, 3));
+        assert_eq!(sim.metrics().counter("fault.heal_link"), 2);
+    }
+
+    #[test]
+    fn join_to_dead_peer_is_counted_and_recovers_on_peer_rejoin() {
+        let topo = generators::line(3); // 0-1-2
+        let mut sim = Simulator::new(
+            topo,
+            vec![Chatter { received: 0 }; 3],
+            LinkConfig::ideal(),
+            43,
+        );
+        sim.schedule_fault(Time(5), Fault::Crash { node: 1 });
+        sim.schedule_fault(Time(6), Fault::Crash { node: 2 });
+        // 1 rejoins while 2 is still down: the 1-2 link is requested but
+        // cannot come up — it must be counted, not silently dropped.
+        sim.schedule_fault(
+            Time(10),
+            Fault::Join {
+                node: 1,
+                links: vec![0, 2],
+            },
+        );
+        sim.run_until(Time(11));
+        assert!(sim.is_alive(1));
+        assert!(sim.topology().has_edge(0, 1));
+        assert!(!sim.topology().has_edge(1, 2));
+        assert_eq!(sim.metrics().counter("fault.join_dead_link"), 1);
+        // the peer rejoining restores the link
+        sim.schedule_fault(
+            Time(20),
+            Fault::Join {
+                node: 2,
+                links: vec![1],
+            },
+        );
+        sim.run_until(Time(21));
+        assert!(sim.topology().has_edge(1, 2));
+        assert_eq!(sim.metrics().counter("fault.join_dead_link"), 1);
     }
 
     #[test]

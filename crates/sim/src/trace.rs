@@ -79,14 +79,25 @@ pub enum TraceEvent {
         /// Annotation text.
         text: String,
     },
+    /// A structured diagnosis from an observer (e.g. the freeze watchdog
+    /// or an invariant checker) — network-global, not tied to one node.
+    Diag {
+        /// Emission time.
+        at: Time,
+        /// Which observer produced the diagnosis (e.g. `"watchdog"`).
+        source: &'static str,
+        /// Diagnosis text.
+        text: String,
+    },
 }
 
 /// Serializes one event as a JSON-Lines record (no trailing newline).
 ///
 /// The field names are a stable contract consumed by `obs trace`:
-/// every record has `"ev"` (`send` / `deliver` / `lost` / `fault` / `note`)
-/// and `"at"`; message events add `"from"`, `"to"` and `"kind"` or
-/// `"reason"`; faults add `"desc"`; notes add `"node"` and `"text"`.
+/// every record has `"ev"` (`send` / `deliver` / `lost` / `fault` / `note`
+/// / `diag`) and `"at"`; message events add `"from"`, `"to"` and `"kind"`
+/// or `"reason"`; faults add `"desc"`; notes add `"node"` and `"text"`;
+/// diagnoses add `"source"` and `"text"`.
 pub fn event_to_jsonl(ev: &TraceEvent) -> String {
     match ev {
         TraceEvent::Send { at, from, to, kind } => format!(
@@ -113,6 +124,11 @@ pub fn event_to_jsonl(ev: &TraceEvent) -> String {
         ),
         TraceEvent::Note { at, node, text } => format!(
             "{{\"ev\":\"note\",\"at\":{},\"node\":{node},\"text\":\"{}\"}}",
+            at.ticks(),
+            escape_json(text)
+        ),
+        TraceEvent::Diag { at, source, text } => format!(
+            "{{\"ev\":\"diag\",\"at\":{},\"source\":\"{source}\",\"text\":\"{}\"}}",
             at.ticks(),
             escape_json(text)
         ),
@@ -438,6 +454,11 @@ mod tests {
                 node: 9,
                 text: "t".into(),
             },
+            TraceEvent::Diag {
+                at: Time(6),
+                source: "watchdog",
+                text: "frozen".into(),
+            },
         ];
         let kinds: Vec<String> = evs
             .iter()
@@ -451,5 +472,7 @@ mod tests {
         assert!(kinds[2].contains("\"reason\":\"r\""));
         assert!(kinds[3].contains("\"desc\":\"d\""));
         assert!(kinds[4].contains("\"node\":9"));
+        assert!(kinds[5].contains("\"source\":\"watchdog\""));
+        assert!(kinds[5].contains("\"text\":\"frozen\""));
     }
 }

@@ -1,0 +1,318 @@
+//! Freeze watchdog: detects livelock / fixpoint-without-convergence.
+//!
+//! DESIGN.md finding 7 documents VRR runs freezing in a *crossing state*:
+//! two non-adjacent mutual virtual edges, every node locally consistent,
+//! periodic timers still firing — so the run never goes quiescent and never
+//! converges, silently burning the whole tick budget. The watchdog turns
+//! that failure mode into a first-class, classified outcome.
+//!
+//! It is a [probe](crate::Simulator::add_probe) factory, generic over the
+//! protocol: the caller supplies a **signature** function (a hash of all
+//! ring-relevant protocol state), a **convergence** predicate, and a
+//! **local-consistency** predicate. If the signature stops changing for
+//! `freeze_window` ticks without convergence, the run is frozen:
+//!
+//! * every node locally consistent → [`Verdict::FrozenCrossing`] — the
+//!   crossing state (globally wrong fixpoint of locally happy nodes);
+//! * otherwise → [`Verdict::FrozenStuck`] — a plain stuck state.
+//!
+//! On the transition to frozen the watchdog increments
+//! `probe.watchdog_frozen` and dumps a structured [`TraceEvent::Diag`]
+//! into the trace; experiments surface the verdict in their manifests.
+//! State is shared through an `Rc<RefCell<_>>` handle so the experiment's
+//! stop-condition can fail fast instead of running to the budget.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::sim::{ProbeView, Protocol};
+use crate::trace::TraceEvent;
+
+/// Classification of the run as seen by the watchdog.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// State is still changing (or the watchdog has not fired yet).
+    Active,
+    /// The convergence predicate holds.
+    Converged,
+    /// Frozen with every node locally consistent — the VRR crossing state:
+    /// a globally inconsistent fixpoint no local rule will ever leave.
+    FrozenCrossing,
+    /// Frozen with at least one node still locally inconsistent.
+    FrozenStuck,
+}
+
+impl Verdict {
+    /// Stable machine-readable label used in manifests and diagnostics:
+    /// `active`, `converged`, `frozen_crossing`, `frozen_stuck`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Active => "active",
+            Verdict::Converged => "converged",
+            Verdict::FrozenCrossing => "frozen_crossing",
+            Verdict::FrozenStuck => "frozen_stuck",
+        }
+    }
+
+    /// `true` for either frozen classification.
+    pub fn is_frozen(self) -> bool {
+        matches!(self, Verdict::FrozenCrossing | Verdict::FrozenStuck)
+    }
+}
+
+/// Watchdog state, shared between the probe and the experiment loop.
+#[derive(Clone, Debug)]
+pub struct WatchdogState {
+    /// Current classification.
+    pub verdict: Verdict,
+    /// Tick at which the signature last changed.
+    pub last_change: u64,
+    /// Most recent signature (None until the first firing).
+    pub last_sig: Option<u64>,
+    /// Tick at which the run was first classified frozen, if ever.
+    pub frozen_at: Option<u64>,
+    /// Number of distinct freeze episodes (a fault can thaw a freeze).
+    pub freezes: u64,
+}
+
+impl WatchdogState {
+    fn new() -> Self {
+        WatchdogState {
+            verdict: Verdict::Active,
+            last_change: 0,
+            last_sig: None,
+            frozen_at: None,
+            freezes: 0,
+        }
+    }
+
+    /// `true` if the current verdict is a freeze.
+    pub fn is_frozen(&self) -> bool {
+        self.verdict.is_frozen()
+    }
+}
+
+/// Shared handle to a [`WatchdogState`].
+pub type SharedWatchdog = Rc<RefCell<WatchdogState>>;
+
+/// A fresh shared watchdog state (verdict [`Verdict::Active`]).
+pub fn shared_watchdog() -> SharedWatchdog {
+    Rc::new(RefCell::new(WatchdogState::new()))
+}
+
+/// Builds the watchdog probe. Register it with
+/// [`Simulator::add_probe`](crate::Simulator::add_probe); pick a probe
+/// interval that divides `freeze_window` a few times over (e.g. window 64,
+/// interval 8) so freezes are detected promptly.
+///
+/// * `signature` — hash of all convergence-relevant protocol state; the
+///   watchdog only compares it for equality between firings.
+/// * `converged` — the experiment's convergence predicate.
+/// * `locally_consistent` — `true` when *every* node is locally happy;
+///   distinguishes the crossing state from a plain stuck state.
+pub fn watchdog_probe<P, S, C, L>(
+    freeze_window: u64,
+    state: SharedWatchdog,
+    mut signature: S,
+    mut converged: C,
+    mut locally_consistent: L,
+) -> impl FnMut(&mut ProbeView<'_, P>)
+where
+    P: Protocol,
+    S: FnMut(&[P]) -> u64,
+    C: FnMut(&[P]) -> bool,
+    L: FnMut(&[P]) -> bool,
+{
+    assert!(freeze_window > 0, "freeze window must be positive");
+    move |view: &mut ProbeView<'_, P>| {
+        let now = view.now.ticks();
+        let sig = signature(view.protocols);
+        let mut st = state.borrow_mut();
+        if st.last_sig != Some(sig) {
+            // state changed: thaw
+            st.last_sig = Some(sig);
+            st.last_change = now;
+            if st.verdict != Verdict::Converged {
+                st.verdict = Verdict::Active;
+            }
+        }
+        if converged(view.protocols) {
+            st.verdict = Verdict::Converged;
+            return;
+        }
+        let was_frozen = st.verdict.is_frozen();
+        if now.saturating_sub(st.last_change) >= freeze_window {
+            if !was_frozen {
+                let verdict = if locally_consistent(view.protocols) {
+                    Verdict::FrozenCrossing
+                } else {
+                    Verdict::FrozenStuck
+                };
+                st.verdict = verdict;
+                st.frozen_at = Some(now);
+                st.freezes += 1;
+                view.metrics.incr("probe.watchdog_frozen");
+                if view.trace.enabled() {
+                    view.trace.record(TraceEvent::Diag {
+                        at: view.now,
+                        source: "watchdog",
+                        text: format!(
+                            "verdict={} unchanged_since={} window={} pending={}",
+                            verdict.label(),
+                            st.last_change,
+                            freeze_window,
+                            view.pending_events
+                        ),
+                    });
+                }
+            }
+        } else if st.verdict != Verdict::Converged {
+            st.verdict = Verdict::Active;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkConfig;
+    use crate::sim::{Ctx, Simulator};
+    use crate::trace::TraceSink;
+    use ssr_graph::generators;
+
+    /// Beacons forever; `value` never changes after `settle` ticks.
+    #[derive(Clone)]
+    struct Beacon {
+        value: u64,
+        settle: u64,
+        happy: bool,
+    }
+    impl Protocol for Beacon {
+        type Msg = ();
+        fn on_init(&mut self, ctx: &mut Ctx<'_, ()>) {
+            ctx.set_timer(1, 0);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: usize, _: ()) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, _: u64) {
+            if ctx.now().ticks() < self.settle {
+                self.value += 1;
+            }
+            ctx.set_timer(1, 0);
+        }
+        fn reset(&mut self) {
+            self.value = 0;
+        }
+    }
+
+    fn beacon_sim(settle: u64, happy: bool, trace: TraceSink) -> Simulator<Beacon> {
+        let topo = generators::line(3);
+        let protos = vec![
+            Beacon {
+                value: 0,
+                settle,
+                happy,
+            };
+            3
+        ];
+        Simulator::with_trace(topo, protos, LinkConfig::ideal(), 1, trace)
+    }
+
+    fn sig(ps: &[Beacon]) -> u64 {
+        ps.iter()
+            .fold(0u64, |h, p| h.rotate_left(7) ^ p.value.wrapping_mul(31))
+    }
+
+    #[test]
+    fn classifies_crossing_state_and_fails_fast() {
+        let trace = TraceSink::memory();
+        let mut sim = beacon_sim(20, true, trace.clone());
+        let state = shared_watchdog();
+        let st = Rc::clone(&state);
+        sim.add_probe(
+            4,
+            watchdog_probe(
+                32,
+                state,
+                sig,
+                |_| false,
+                |ps: &[Beacon]| ps.iter().all(|p| p.happy),
+            ),
+        );
+        let st2 = Rc::clone(&st);
+        let outcome = sim.run_until_stable(8, 100_000, move |_, _| st2.borrow().is_frozen());
+        // fail-fast: stopped as soon as the freeze was classified, not at
+        // the 100k budget
+        assert!(outcome.time().ticks() < 200, "{:?}", outcome);
+        let st = st.borrow();
+        assert_eq!(st.verdict, Verdict::FrozenCrossing);
+        assert_eq!(st.freezes, 1);
+        assert!(st.frozen_at.unwrap() >= 20 + 32);
+        assert_eq!(sim.metrics().counter("probe.watchdog_frozen"), 1);
+        // a structured diagnosis landed in the trace
+        let diags: Vec<String> = trace
+            .take()
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::Diag { source, text, .. } => Some(format!("{source}: {text}")),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].contains("watchdog: verdict=frozen_crossing"));
+    }
+
+    #[test]
+    fn locally_inconsistent_freeze_is_stuck_not_crossing() {
+        let mut sim = beacon_sim(10, false, TraceSink::disabled());
+        let state = shared_watchdog();
+        let st = Rc::clone(&state);
+        sim.add_probe(
+            4,
+            watchdog_probe(
+                24,
+                state,
+                sig,
+                |_| false,
+                |ps: &[Beacon]| ps.iter().all(|p| p.happy),
+            ),
+        );
+        let st2 = Rc::clone(&st);
+        sim.run_until_stable(8, 10_000, move |_, _| st2.borrow().is_frozen());
+        assert_eq!(st.borrow().verdict, Verdict::FrozenStuck);
+        assert_eq!(sim.metrics().counter("probe.watchdog_frozen"), 1);
+    }
+
+    #[test]
+    fn convergence_wins_over_freeze() {
+        let mut sim = beacon_sim(5, true, TraceSink::disabled());
+        let state = shared_watchdog();
+        let st = Rc::clone(&state);
+        sim.add_probe(
+            4,
+            watchdog_probe(16, state, sig, |_| true, |_: &[Beacon]| true),
+        );
+        let st2 = Rc::clone(&st);
+        sim.run_until_stable(8, 1_000, move |_, _| {
+            st2.borrow().verdict == Verdict::Converged
+        });
+        assert_eq!(st.borrow().verdict, Verdict::Converged);
+        assert_eq!(st.borrow().freezes, 0);
+        assert_eq!(sim.metrics().counter("probe.watchdog_frozen"), 0);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Verdict::Active.label(), "active");
+        assert_eq!(Verdict::Converged.label(), "converged");
+        assert_eq!(Verdict::FrozenCrossing.label(), "frozen_crossing");
+        assert_eq!(Verdict::FrozenStuck.label(), "frozen_stuck");
+        assert!(Verdict::FrozenCrossing.is_frozen());
+        assert!(!Verdict::Converged.is_frozen());
+    }
+
+    #[test]
+    #[should_panic(expected = "freeze window")]
+    fn zero_window_panics() {
+        let _ = watchdog_probe::<Beacon, _, _, _>(0, shared_watchdog(), sig, |_| false, |_| true);
+    }
+}

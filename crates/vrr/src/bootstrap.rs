@@ -1,8 +1,12 @@
 //! Experiment drivers for the VRR bootstrap (mirrors
-//! `ssr_core::bootstrap`).
+//! `ssr_core::bootstrap`), including the *watched* variant that fail-fasts
+//! on the crossing-state freeze (DESIGN.md finding 7) instead of burning
+//! the tick budget.
+
+use std::rc::Rc;
 
 use ssr_graph::{Graph, Labeling};
-use ssr_sim::{LinkConfig, Simulator};
+use ssr_sim::{shared_watchdog, watchdog_probe, LinkConfig, Simulator, Verdict};
 use ssr_types::NodeId;
 
 use crate::node::{VrrConfig, VrrMode, VrrNode};
@@ -96,6 +100,99 @@ pub fn run_vrr_bootstrap(
     (report, sim)
 }
 
+/// Hash of all ring-relevant VRR state (closest side neighbors, wraps,
+/// local consistency) for the freeze watchdog. Deliberately excludes
+/// beacon sequence numbers and other periodically churning fields: in the
+/// crossing state those keep ticking while the ring structure — hashed
+/// here — never changes again.
+pub fn vrr_signature(nodes: &[VrrNode]) -> u64 {
+    const MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut h = 0u64;
+    let mut feed = |x: u64| h = h.rotate_left(9) ^ x.wrapping_mul(MIX);
+    for node in nodes {
+        feed(node.id().0);
+        feed(node.closest_left().map_or(1, |b| b.0.rotate_left(11)));
+        feed(node.closest_right().map_or(2, |b| b.0.rotate_left(13)));
+        feed(node.wrap_pred().map_or(3, |b| b.0.rotate_left(17)));
+        feed(node.wrap_succ().map_or(5, |b| b.0.rotate_left(29)));
+        let (l, r) = node.side_sizes();
+        feed((l as u64) << 32 | r as u64);
+        feed(u64::from(node.locally_consistent()));
+    }
+    h
+}
+
+/// Outcome of a watched VRR bootstrap.
+#[derive(Clone, Debug)]
+pub struct VrrWatchReport {
+    /// `true` iff the virtual ring became globally consistent.
+    pub converged: bool,
+    /// Watchdog classification label: `converged`, `frozen_crossing`,
+    /// `frozen_stuck`, or `active` (budget ran out while still moving).
+    pub verdict: &'static str,
+    /// Ticks until convergence, freeze classification, or budget.
+    pub ticks: u64,
+    /// Total link-layer transmissions.
+    pub total_messages: u64,
+    /// Tick at which the freeze was classified, if it was.
+    pub frozen_at: Option<u64>,
+}
+
+/// Like [`run_vrr_bootstrap`], but with the freeze watchdog wired in: the
+/// run stops as soon as the ring is globally consistent **or** the
+/// ring-relevant state has not changed for `freeze_window` ticks without
+/// consistency — the crossing state (two non-adjacent mutual virtual
+/// edges, every node locally consistent) is then classified
+/// `frozen_crossing` instead of silently burning `max_ticks`.
+pub fn run_vrr_bootstrap_watched(
+    topo: &Graph,
+    labels: &Labeling,
+    mode: VrrMode,
+    link: LinkConfig,
+    seed: u64,
+    max_ticks: u64,
+    freeze_window: u64,
+) -> (VrrWatchReport, Simulator<VrrNode>) {
+    assert_eq!(topo.node_count(), labels.len());
+    let config = VrrConfig {
+        mode,
+        ..VrrConfig::default()
+    };
+    let nodes = make_vrr_nodes(labels, config);
+    let mut sim = Simulator::new(topo.clone(), nodes, link, seed);
+    let state = shared_watchdog();
+    sim.add_probe(
+        8,
+        watchdog_probe(
+            freeze_window,
+            Rc::clone(&state),
+            vrr_signature,
+            |nodes: &[VrrNode]| vrr_ring_consistent(nodes),
+            |nodes: &[VrrNode]| nodes.iter().all(|p| p.locally_consistent()),
+        ),
+    );
+    let stop = Rc::clone(&state);
+    let outcome = sim.run_until_stable(8, max_ticks, move |nodes, _| {
+        vrr_ring_consistent(nodes) || stop.borrow().is_frozen()
+    });
+    let converged = vrr_ring_consistent(sim.protocols());
+    let st = state.borrow();
+    let verdict = if converged {
+        Verdict::Converged.label()
+    } else {
+        st.verdict.label()
+    };
+    let report = VrrWatchReport {
+        converged,
+        verdict,
+        ticks: outcome.time().ticks(),
+        total_messages: sim.metrics().counter("tx.total"),
+        frozen_at: st.frozen_at,
+    };
+    drop(st);
+    (report, sim)
+}
+
 /// The ring successor map (for shape classification in experiments).
 pub fn vrr_succ_map(nodes: &[VrrNode]) -> std::collections::BTreeMap<NodeId, NodeId> {
     nodes
@@ -186,6 +283,59 @@ mod tests {
             assert!(hello > 3 * 2 * topo.edge_count() as u64, "hello = {hello}");
         }
         assert!(converged >= 1, "baseline never converged");
+    }
+
+    #[test]
+    fn crossing_state_freeze_is_classified_not_silently_timed_out() {
+        // Deterministic reproduction of DESIGN.md finding 7: at n = 28,
+        // seed 9 the linearized VRR bootstrap reaches a fixpoint with two
+        // non-adjacent mutual virtual edges — every node locally
+        // consistent, the global ring crossed, periodic timers still
+        // firing. The watched runner must classify it `frozen_crossing`
+        // and stop shortly after the freeze window, never burning the
+        // full tick budget.
+        let (topo, labels) = topo_and_labels(28, 9);
+        let (report, sim) = run_vrr_bootstrap_watched(
+            &topo,
+            &labels,
+            VrrMode::Linearized,
+            LinkConfig::ideal(),
+            9,
+            200_000,
+            2_000,
+        );
+        assert!(
+            report.converged || report.verdict == "frozen_crossing",
+            "silent non-convergence: {report:?}"
+        );
+        assert!(!report.converged, "seed no longer freezes — repin it");
+        assert_eq!(report.verdict, "frozen_crossing");
+        assert!(report.frozen_at.is_some());
+        assert!(
+            report.ticks < 10_000,
+            "fail-fast did not stop early: {report:?}"
+        );
+        assert_eq!(sim.metrics().counter("probe.watchdog_frozen"), 1);
+        // every node *is* locally consistent — that is what makes the
+        // crossing state invisible to purely local checks
+        assert!(sim.protocols().iter().all(|p| p.locally_consistent()));
+    }
+
+    #[test]
+    fn watched_runner_converges_like_unwatched_on_good_seed() {
+        let (topo, labels) = topo_and_labels(20, 0);
+        let (report, _) = run_vrr_bootstrap_watched(
+            &topo,
+            &labels,
+            VrrMode::Linearized,
+            LinkConfig::ideal(),
+            0,
+            100_000,
+            2_000,
+        );
+        assert!(report.converged, "{report:?}");
+        assert_eq!(report.verdict, "converged");
+        assert!(report.frozen_at.is_none());
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub mod node;
 pub mod routing;
 pub mod table;
 
-pub use bootstrap::{run_vrr_bootstrap, VrrBootstrapReport};
+pub use bootstrap::{
+    run_vrr_bootstrap, run_vrr_bootstrap_watched, vrr_ring_consistent, vrr_signature,
+    VrrBootstrapReport, VrrWatchReport,
+};
 pub use node::{VrrConfig, VrrMode, VrrMsg, VrrNode};
 pub use routing::VrrRoutingView;
 pub use table::{PathEntry, PathTable};

@@ -23,3 +23,7 @@ fmt:
 # fig1_loopy with the streaming JSONL sink, then obs trace/summarize/diff
 obs-smoke:
     ./scripts/obs_smoke.sh
+
+# chaos matrix smoke: adversarial scenarios must self-stabilize
+chaos-smoke:
+    cargo run --release -q -p ssr-bench --bin exp_chaos -- --smoke

@@ -11,8 +11,9 @@ SCRATCH="target/obs-smoke"
 rm -rf "$SCRATCH"
 mkdir -p "$SCRATCH"
 
-cargo build --release -q -p ssr-bench --bin fig1_loopy -p ssr-obs --bin obs
+cargo build --release -q -p ssr-bench --bin fig1_loopy --bin exp_chaos -p ssr-obs --bin obs
 FIG1="$(pwd)/target/release/fig1_loopy"
+CHAOS="$(pwd)/target/release/exp_chaos"
 OBS="$(pwd)/target/release/obs"
 
 echo "-- fig1_loopy with JSONL trace --"
@@ -29,5 +30,21 @@ echo "-- obs summarize --"
 echo "-- obs diff (manifest vs itself: must be clean) --"
 "$OBS" diff "$SCRATCH/results/fig1_loopy.manifest.json" \
             "$SCRATCH/results/fig1_loopy.manifest.json" | grep -q "no differences"
+
+echo "-- exp_chaos smoke (twice, wall clock omitted: must be byte-identical) --"
+mkdir -p "$SCRATCH/chaos_a" "$SCRATCH/chaos_b"
+(cd "$SCRATCH/chaos_a" && SSR_OBS_OMIT_WALL=1 "$CHAOS" --smoke > chaos.out)
+(cd "$SCRATCH/chaos_b" && SSR_OBS_OMIT_WALL=1 "$CHAOS" --smoke > chaos.out)
+cmp "$SCRATCH/chaos_a/results/exp_chaos.manifest.json" \
+    "$SCRATCH/chaos_b/results/exp_chaos.manifest.json" \
+    || { echo "chaos manifest not deterministic"; exit 1; }
+
+echo "-- obs summarize (chaos scenarios section) --"
+"$OBS" summarize "$SCRATCH/chaos_a/results/exp_chaos.manifest.json" \
+    | grep -q "chaos scenarios" || { echo "missing chaos section"; exit 1; }
+
+echo "-- obs diff (chaos manifests: must be clean) --"
+"$OBS" diff "$SCRATCH/chaos_a/results/exp_chaos.manifest.json" \
+            "$SCRATCH/chaos_b/results/exp_chaos.manifest.json" | grep -q "no differences"
 
 echo "obs smoke OK"
