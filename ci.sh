@@ -15,6 +15,9 @@ cargo test --workspace --quiet
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== ssr-lint =="
+cargo run --release -q -p ssr-lint -- --workspace --baseline lint-baseline.json
+
 echo "== fmt =="
 cargo fmt --all --check
 

@@ -11,7 +11,7 @@
 //! least one node for each of the exponentially growing intervals" — this
 //! module makes that structural guarantee explicit.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use ssr_types::{cw_dist, IntervalPartition, NodeId, Side};
 
@@ -44,7 +44,7 @@ pub struct RouteCache {
     partition: IntervalPartition,
     entries: BTreeMap<NodeId, CacheEntry>,
     /// Unpinned occupant per (side, interval).
-    occupant: HashMap<(Side, u32), NodeId>,
+    occupant: BTreeMap<(Side, u32), NodeId>,
 }
 
 impl RouteCache {
@@ -60,7 +60,7 @@ impl RouteCache {
             me,
             partition,
             entries: BTreeMap::new(),
-            occupant: HashMap::new(),
+            occupant: BTreeMap::new(),
         }
     }
 

@@ -527,7 +527,17 @@ impl Protocol for IsprpNode {
                         self.handle_update(ctx, better, route_to_better);
                         self.schedule_stabilize(ctx);
                     }
-                    _ => ctx.metrics().incr("fwd.unexpected"),
+                    Payload::Notify { .. }
+                    | Payload::NotifyAck { .. }
+                    | Payload::Teardown { .. }
+                    | Payload::Discover { .. }
+                    | Payload::CloseRing { .. }
+                    | Payload::DataProbe { .. } => {
+                        // linearized-bootstrap messages are not part of
+                        // ISPRP; listing them keeps this match honest — a
+                        // new payload variant must decide its fate here
+                        ctx.metrics().incr("fwd.unexpected");
+                    }
                 }
             }
         }

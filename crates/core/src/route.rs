@@ -103,8 +103,7 @@ impl SourceRoute {
     /// the two occurrences (inclusive of the second) is cut. The result is
     /// a simple path with the same endpoints, never longer than the input.
     pub fn pruned(&self) -> SourceRoute {
-        let mut seen: std::collections::HashMap<NodeId, usize> =
-            std::collections::HashMap::with_capacity(self.hops.len());
+        let mut seen: std::collections::BTreeMap<NodeId, usize> = std::collections::BTreeMap::new();
         let mut out: Vec<NodeId> = Vec::with_capacity(self.hops.len());
         for &hop in &self.hops {
             if let Some(&pos) = seen.get(&hop) {
@@ -122,7 +121,7 @@ impl SourceRoute {
 
     /// `true` iff no node appears twice.
     pub fn is_simple(&self) -> bool {
-        let mut seen = std::collections::HashSet::with_capacity(self.hops.len());
+        let mut seen = std::collections::BTreeSet::new();
         self.hops.iter().all(|h| seen.insert(*h))
     }
 

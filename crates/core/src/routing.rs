@@ -13,7 +13,7 @@
 //! over a *snapshot* of all node states (fast, deterministic, no protocol
 //! interference) and reports virtual hops, physical hops, and failures.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ssr_types::NodeId;
 
@@ -49,7 +49,7 @@ impl RouteOutcome {
 
 /// An immutable routing view over all node states.
 pub struct RoutingView<'a> {
-    caches: HashMap<NodeId, &'a RouteCache>,
+    caches: BTreeMap<NodeId, &'a RouteCache>,
 }
 
 impl<'a> RoutingView<'a> {

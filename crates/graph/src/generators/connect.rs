@@ -25,7 +25,7 @@ pub fn ensure_connected(g: &mut Graph, rng: &mut Rng) -> usize {
         }
         // Pick one representative per component, shuffle, and chain them.
         let mut reps: Vec<usize> = Vec::with_capacity(count);
-        let mut seen = std::collections::HashSet::with_capacity(count);
+        let mut seen = std::collections::BTreeSet::new();
         for (u, &lab) in label.iter().enumerate() {
             if seen.insert(lab) {
                 reps.push(u);

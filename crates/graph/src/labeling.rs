@@ -6,7 +6,7 @@
 //! unique 64-bit [`NodeId`] and supports the lookups both directions that
 //! the protocols and checkers need.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ssr_types::{NodeId, Rng};
 
@@ -14,7 +14,7 @@ use ssr_types::{NodeId, Rng};
 #[derive(Clone, Debug)]
 pub struct Labeling {
     ids: Vec<NodeId>,
-    index_of: HashMap<NodeId, usize>,
+    index_of: BTreeMap<NodeId, usize>,
 }
 
 impl Labeling {
@@ -34,7 +34,7 @@ impl Labeling {
     /// # Panics
     /// Panics on duplicate addresses.
     pub fn from_ids(ids: Vec<NodeId>) -> Self {
-        let mut index_of = HashMap::with_capacity(ids.len());
+        let mut index_of = BTreeMap::new();
         for (i, &id) in ids.iter().enumerate() {
             let prev = index_of.insert(id, i);
             assert!(prev.is_none(), "duplicate node id {id}");

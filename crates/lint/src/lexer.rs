@@ -1,0 +1,393 @@
+//! A minimal Rust lexer.
+//!
+//! The build environment has no registry access, so `syn` is unavailable;
+//! this lexer is the in-repo stand-in (same policy as the `proptest` /
+//! `criterion` shims). It produces exactly what the lint rules need — a
+//! token stream with line numbers, comments stripped, string/char literals
+//! recognized (including raw and byte strings) so that rule patterns never
+//! fire on text inside comments or literals.
+
+/// One lexed token kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (including `_`).
+    Ident(String),
+    /// String literal *content* (quotes and raw-string hashes stripped,
+    /// escape sequences left as written).
+    Str(String),
+    /// A single punctuation character. Multi-character operators appear as
+    /// consecutive tokens (`::` is `Punct(':'), Punct(':')`).
+    Punct(char),
+    /// Numeric literal (value not needed by any rule).
+    Num,
+    /// A lifetime such as `'a`.
+    Lifetime,
+    /// A character or byte literal such as `'x'` or `b'\n'`.
+    CharLit,
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// Lexes `src` into a token stream. Unterminated comments/literals are
+/// tolerated (the remainder is consumed) — the lint must never panic on the
+/// code it inspects.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, tok: Tok, line: u32) {
+        self.out.push(Token { tok, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(line),
+                '\'' => self.quote(line),
+                'r' | 'b' if self.raw_or_byte_literal(line) => {}
+                c if c == '_' || c.is_alphabetic() => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c => {
+                    self.bump();
+                    self.push(Tok::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        while let Some(c) = self.bump() {
+            if c == '\n' {
+                break;
+            }
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => return,
+            }
+        }
+    }
+
+    /// A regular `"…"` string with escapes. The opening quote has not been
+    /// consumed yet.
+    fn string(&mut self, line: u32) {
+        self.bump(); // `"`
+        let mut content = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => {
+                    content.push('\\');
+                    if let Some(e) = self.bump() {
+                        content.push(e);
+                    }
+                }
+                c => content.push(c),
+            }
+        }
+        self.push(Tok::Str(content), line);
+    }
+
+    /// `'a` lifetimes vs `'x'` char literals.
+    fn quote(&mut self, line: u32) {
+        self.bump(); // `'`
+        match self.peek(0) {
+            // escape: definitely a char literal
+            Some('\\') => {
+                self.bump();
+                self.bump(); // escaped char
+                             // unicode escapes: `'\u{1F600}'`
+                while let Some(c) = self.peek(0) {
+                    self.bump();
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(Tok::CharLit, line);
+            }
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                // `'x'` is a char literal; `'abc` (no closing quote) is a
+                // lifetime
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                    self.push(Tok::CharLit, line);
+                } else {
+                    while let Some(c) = self.peek(0) {
+                        if c == '_' || c.is_alphanumeric() {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(Tok::Lifetime, line);
+                }
+            }
+            // `'('` and friends
+            Some(_) => {
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(Tok::CharLit, line);
+            }
+            None => self.push(Tok::CharLit, line),
+        }
+    }
+
+    /// Raw strings (`r"…"`, `r#"…"#`), byte strings (`b"…"`), raw byte
+    /// strings (`br#"…"#`), and byte chars (`b'x'`). Returns `false` when
+    /// the `r`/`b` at the cursor is just the start of an identifier.
+    fn raw_or_byte_literal(&mut self, line: u32) -> bool {
+        let first = self.peek(0).unwrap();
+        let (skip, next) = match (first, self.peek(1)) {
+            ('r', Some('"')) => (1, '"'),
+            ('r', Some('#')) => (1, '#'),
+            ('b', Some('"')) => (1, '"'),
+            ('b', Some('\'')) => (1, '\''),
+            ('b', Some('r')) if matches!(self.peek(2), Some('"') | Some('#')) => {
+                (2, self.peek(2).unwrap())
+            }
+            _ => return false,
+        };
+        // `r#foo` raw identifiers: `#` not followed by `"` or more hashes
+        // ending in `"` is an identifier, not a raw string
+        if next == '#' {
+            let mut i = skip;
+            while self.peek(i) == Some('#') {
+                i += 1;
+            }
+            if self.peek(i) != Some('"') {
+                return false;
+            }
+        }
+        for _ in 0..skip {
+            self.bump();
+        }
+        match next {
+            '\'' => {
+                // byte char `b'x'`
+                self.bump(); // `'`
+                if self.peek(0) == Some('\\') {
+                    self.bump();
+                    self.bump();
+                } else {
+                    self.bump();
+                }
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(Tok::CharLit, line);
+            }
+            '"' => self.string(line),
+            _ => {
+                // raw string with `#` guards
+                let mut hashes = 0usize;
+                while self.peek(0) == Some('#') {
+                    self.bump();
+                    hashes += 1;
+                }
+                self.bump(); // opening `"`
+                let mut content = String::new();
+                'outer: while let Some(c) = self.bump() {
+                    if c == '"' {
+                        let mut matched = 0;
+                        while matched < hashes {
+                            if self.peek(0) == Some('#') {
+                                self.bump();
+                                matched += 1;
+                            } else {
+                                content.push('"');
+                                for _ in 0..matched {
+                                    content.push('#');
+                                }
+                                continue 'outer;
+                            }
+                        }
+                        break;
+                    }
+                    content.push(c);
+                }
+                self.push(Tok::Str(content), line);
+            }
+        }
+        true
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut s = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(Tok::Ident(s), line);
+    }
+
+    fn number(&mut self, line: u32) {
+        // digits, radix prefixes, suffixes; a `.` is consumed only when
+        // followed by a digit (so `1..5` stays a range)
+        while let Some(c) = self.peek(0) {
+            let in_number = c == '_'
+                || c.is_alphanumeric()
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if !in_number {
+                break;
+            }
+            self.bump();
+        }
+        self.push(Tok::Num, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(
+            kinds("foo::bar"),
+            vec![
+                Tok::Ident("foo".into()),
+                Tok::Punct(':'),
+                Tok::Punct(':'),
+                Tok::Ident("bar".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        assert_eq!(kinds("a // HashMap\nb"), kinds("a\nb"));
+        assert_eq!(kinds("a /* Instant::now() /* nested */ */ b"), kinds("a b"));
+    }
+
+    #[test]
+    fn strings_are_literals_not_tokens() {
+        let toks = kinds(r#"m.incr("tx.total")"#);
+        assert!(toks.contains(&Tok::Str("tx.total".into())));
+        // the key must not surface as identifiers
+        assert!(!toks.contains(&Tok::Ident("tx".into())));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        assert_eq!(
+            kinds(r##"r#"Hash"Map"#"##),
+            vec![Tok::Str("Hash\"Map".into())]
+        );
+        assert_eq!(kinds(r#"b"bytes""#), vec![Tok::Str("bytes".into())]);
+        assert_eq!(kinds("br#\"raw\"#"), vec![Tok::Str("raw".into())]);
+        assert_eq!(kinds("b'x'"), vec![Tok::CharLit]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        assert_eq!(
+            kinds("&'a str"),
+            vec![Tok::Punct('&'), Tok::Lifetime, Tok::Ident("str".into()),]
+        );
+        assert_eq!(kinds("'x'"), vec![Tok::CharLit]);
+        assert_eq!(kinds(r"'\n'"), vec![Tok::CharLit]);
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        assert_eq!(kinds(r#""a\"b""#), vec![Tok::Str(r#"a\"b"#.into())]);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        assert_eq!(
+            kinds("1..5"),
+            vec![Tok::Num, Tok::Punct('.'), Tok::Punct('.'), Tok::Num]
+        );
+        assert_eq!(kinds("0xFF_u64 1.5e3"), vec![Tok::Num, Tok::Num]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn underscore_is_an_ident() {
+        assert_eq!(
+            kinds("_ =>"),
+            vec![Tok::Ident("_".into()), Tok::Punct('='), Tok::Punct('>'),]
+        );
+    }
+}

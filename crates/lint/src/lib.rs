@@ -1,0 +1,27 @@
+//! `ssr-lint` — workspace-wide determinism & protocol-invariant static
+//! analysis.
+//!
+//! The simulator's correctness story — and every chaos/obs gate built on it
+//! — rests on runs being a deterministic function of `(config, seed)`.
+//! PR 1/PR 2 enforce that *dynamically* (byte-identical same-seed manifest
+//! and trace checks); this crate makes the underlying invariants *locally
+//! checkable at the source level*, so a stray `HashMap`, wall-clock read,
+//! typo'd metric key, or variant-swallowing wildcard arm fails CI before a
+//! run ever happens.
+//!
+//! The environment has no registry access, so instead of `syn` the crate
+//! carries its own minimal [`lexer`] (the same stand-in policy as the
+//! workspace's `proptest`/`criterion` shims); the [`rules`] run over the
+//! token stream. [`workspace`] discovers the files, [`baseline`] holds
+//! reviewed suppressions, and `src/main.rs` is the CI-gating CLI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use baseline::Baseline;
+pub use rules::{analyze, Finding, LexedFile};

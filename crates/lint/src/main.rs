@@ -1,0 +1,132 @@
+//! The `ssr-lint` CLI.
+//!
+//! ```text
+//! ssr-lint --workspace [--root DIR] [--baseline FILE] [--json]
+//! ```
+//!
+//! Exit codes: `0` clean (or everything suppressed), `1` live findings,
+//! `2` usage or I/O error. CI runs
+//! `cargo run -p ssr-lint -- --workspace --baseline lint-baseline.json`
+//! between the clippy and fmt steps.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ssr_lint::{workspace, Baseline, Finding};
+use ssr_obs::json::Value;
+
+struct Args {
+    workspace: bool,
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: bool,
+}
+
+const USAGE: &str = "usage: ssr-lint --workspace [--root DIR] [--baseline FILE] [--json]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        root: None,
+        baseline: None,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--json" => args.json = true,
+            "--root" => {
+                args.root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?));
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a file")?));
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    if !args.workspace {
+        return Err(format!("nothing to do: pass --workspace\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+fn render_json(findings: &[Finding], suppressed: usize) -> String {
+    let items: Vec<Value> = findings
+        .iter()
+        .map(|f| {
+            Value::Obj(vec![
+                ("rule".into(), Value::Str(f.rule.to_string())),
+                ("file".into(), Value::Str(f.file.clone())),
+                ("line".into(), Value::Num(f.line as f64)),
+                ("symbol".into(), Value::Str(f.symbol.clone())),
+                ("message".into(), Value::Str(f.message.clone())),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("schema".into(), Value::Str("ssr-lint/1".into())),
+        ("findings".into(), Value::Arr(items)),
+        ("suppressed".into(), Value::Num(suppressed as f64)),
+    ])
+    .to_json_pretty()
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let start = args
+        .root
+        .clone()
+        .or_else(|| std::env::current_dir().ok())
+        .ok_or("cannot determine a starting directory")?;
+    let root = workspace::find_root(&start)
+        .ok_or_else(|| format!("no workspace root at or above {}", start.display()))?;
+
+    let files = workspace::scan(&root).map_err(|e| format!("scan failed: {e}"))?;
+    let findings = ssr_lint::analyze(&files);
+
+    let (live, suppressed, stale) = match &args.baseline {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+            let baseline = Baseline::parse(&text)?;
+            let (live, suppressed, stale) = baseline.apply(findings);
+            let stale: Vec<String> = stale
+                .into_iter()
+                .map(|s| format!("{} {} `{}`", s.rule, s.file, s.symbol))
+                .collect();
+            (live, suppressed, stale)
+        }
+        None => (findings, 0, Vec::new()),
+    };
+
+    if args.json {
+        println!("{}", render_json(&live, suppressed));
+    } else {
+        for f in &live {
+            println!("{}", f.render());
+        }
+        for s in &stale {
+            eprintln!("ssr-lint: warning: stale baseline entry: {s}");
+        }
+        println!(
+            "ssr-lint: {} file(s), {} finding(s), {} suppressed",
+            files.len(),
+            live.len(),
+            suppressed
+        );
+    }
+    Ok(live.is_empty())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("ssr-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Workspace file discovery.
+//!
+//! The scan is path-convention based (no Cargo metadata needed): every
+//! `crates/<name>/src/**/*.rs` file belongs to crate `<name>`, and the
+//! workspace-level integration-test package contributes
+//! `tests/{src,tests}/**/*.rs` as crate `integration-tests`. Files are
+//! returned sorted by path so analysis output is deterministic.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::LexedFile;
+
+/// Locates the workspace root: `start` or the nearest ancestor containing a
+/// `crates/` directory next to a `Cargo.toml`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(dir) = cur {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return Some(dir.to_path_buf());
+        }
+        cur = dir.parent();
+    }
+    None
+}
+
+/// Reads and lexes every workspace source file under `root`.
+pub fn scan(root: &Path) -> io::Result<Vec<LexedFile>> {
+    let mut sources: Vec<(String, PathBuf)> = Vec::new(); // (crate, abs path)
+
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in &crate_dirs {
+        let Some(name) = dir.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        collect_rs(&dir.join("src"), name, &mut sources)?;
+    }
+    // workspace-level integration tests
+    for sub in ["src", "tests"] {
+        collect_rs(
+            &root.join("tests").join(sub),
+            "integration-tests",
+            &mut sources,
+        )?;
+    }
+
+    sources.sort_by(|a, b| a.1.cmp(&b.1));
+    let mut files = Vec::with_capacity(sources.len());
+    for (crate_name, path) in sources {
+        let text = fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        files.push(LexedFile::new(&crate_name, &rel, &text));
+    }
+    Ok(files)
+}
+
+/// Recursively collects `*.rs` files under `dir` (silently skips a missing
+/// directory — not every crate has every subtree).
+fn collect_rs(dir: &Path, crate_name: &str, out: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, crate_name, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push((crate_name.to_string(), path));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The scan sees this workspace itself: the lint crate's own sources
+    /// must be among the files, attributed to crate `lint`.
+    #[test]
+    fn scans_own_workspace() {
+        let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+        let files = scan(&root).expect("scan");
+        assert!(files
+            .iter()
+            .any(|f| f.rel_path == "crates/lint/src/workspace.rs" && f.crate_name == "lint"));
+        assert!(files
+            .iter()
+            .any(|f| f.rel_path == "crates/core/src/cache.rs" && f.crate_name == "core"));
+        assert!(
+            files
+                .iter()
+                .any(|f| f.rel_path.starts_with("tests/tests/")
+                    && f.crate_name == "integration-tests")
+        );
+        // deterministic order
+        let mut paths: Vec<&str> = files.iter().map(|f| f.rel_path.as_str()).collect();
+        let sorted = {
+            let mut s = paths.clone();
+            s.sort();
+            s
+        };
+        assert_eq!(paths, sorted);
+        paths.dedup();
+        assert_eq!(paths.len(), files.len(), "no file scanned twice");
+    }
+}

@@ -1,0 +1,235 @@
+//! End-to-end CLI test: a fixture workspace seeded with one violation per
+//! rule must make `ssr-lint` exit non-zero and report each of them, and a
+//! baseline built from those findings must suppress them all back to a
+//! clean exit. This is the contract CI relies on.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use ssr_obs::json::{self, Value};
+
+/// A throwaway workspace rooted in the target dir (cleaned up on drop).
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Fixture {
+        let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).unwrap();
+        Fixture { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, content).unwrap();
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn run_lint(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ssr-lint"))
+        .args(args)
+        .output()
+        .expect("spawn ssr-lint");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8(out.stdout).unwrap(),
+        String::from_utf8(out.stderr).unwrap(),
+    )
+}
+
+/// One seeded violation per rule, all in crate `core` (a protocol crate).
+fn seeded_fixture(name: &str) -> Fixture {
+    let fx = Fixture::new(name);
+    fx.write("Cargo.toml", "[workspace]\n");
+    // missing #![forbid(unsafe_code)] -> forbid-unsafe
+    fx.write("crates/core/src/lib.rs", "pub mod bad;\npub mod isprp;\n");
+    // HashMap -> determinism-collections; Instant::now -> determinism-time;
+    // unregistered key -> metric-registry
+    fx.write(
+        "crates/core/src/bad.rs",
+        r#"
+use std::collections::HashMap;
+pub fn f(m: &dyn Meter) -> HashMap<u32, u32> {
+    let _t = std::time::Instant::now();
+    m.incr("typo.key");
+    HashMap::new()
+}
+"#,
+    );
+    // wildcard arm swallowing Payload variants in a handler file
+    fx.write(
+        "crates/core/src/isprp.rs",
+        r#"
+pub fn handle(p: Payload) {
+    match p {
+        Payload::Join { .. } => accept(),
+        _ => ignore(),
+    }
+}
+"#,
+    );
+    fx
+}
+
+#[test]
+fn seeded_violations_fail_and_baseline_suppresses() {
+    let fx = seeded_fixture("seeded");
+    let root = fx.root.to_str().unwrap();
+
+    // 1. every seeded rule fires, exit code 1
+    let (code, stdout, _) = run_lint(&["--workspace", "--root", root, "--json"]);
+    assert_eq!(code, 1, "seeded violations must gate");
+    let doc = json::parse(&stdout).expect("valid JSON report");
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some("ssr-lint/1")
+    );
+    let findings = doc.get("findings").and_then(Value::as_arr).unwrap();
+    let rules: BTreeSet<&str> = findings
+        .iter()
+        .map(|f| f.get("rule").and_then(Value::as_str).unwrap())
+        .collect();
+    let expected: BTreeSet<&str> = [
+        "determinism-collections",
+        "determinism-time",
+        "forbid-unsafe",
+        "match-wildcard",
+        "metric-registry",
+    ]
+    .into();
+    assert_eq!(rules, expected, "one finding family per seeded violation");
+
+    // 2. a baseline built from the findings suppresses them all -> exit 0
+    let entries: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            let field = |k: &str| f.get(k).and_then(Value::as_str).unwrap();
+            format!(
+                r#"{{"rule": {:?}, "file": {:?}, "symbol": {:?}, "reason": "accepted in test"}}"#,
+                field("rule"),
+                field("file"),
+                field("symbol")
+            )
+        })
+        .collect();
+    fx.write(
+        "baseline.json",
+        &format!(
+            r#"{{"schema": "ssr-lint-baseline/1", "suppressions": [{}]}}"#,
+            entries.join(",")
+        ),
+    );
+    let baseline = fx.root.join("baseline.json");
+    let (code, stdout, _) = run_lint(&[
+        "--workspace",
+        "--root",
+        root,
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--json",
+    ]);
+    assert_eq!(code, 0, "baselined findings must not gate:\n{stdout}");
+    let doc = json::parse(&stdout).unwrap();
+    assert_eq!(
+        doc.get("findings").and_then(Value::as_arr).map(|a| a.len()),
+        Some(0)
+    );
+    assert_eq!(
+        doc.get("suppressed").and_then(Value::as_u64),
+        Some(findings.len() as u64)
+    );
+}
+
+#[test]
+fn clean_fixture_passes_and_stale_suppression_warns() {
+    let fx = Fixture::new("clean");
+    fx.write("Cargo.toml", "[workspace]\n");
+    fx.write(
+        "crates/core/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn ok() {}\n",
+    );
+    let root = fx.root.to_str().unwrap();
+
+    let (code, _, _) = run_lint(&["--workspace", "--root", root]);
+    assert_eq!(code, 0, "clean tree must pass");
+
+    // a suppression that matches nothing is reported as stale (still exit 0)
+    fx.write(
+        "baseline.json",
+        r#"{"schema": "ssr-lint-baseline/1", "suppressions": [
+            {"rule": "determinism-time", "file": "crates/core/src/gone.rs",
+             "symbol": "Instant::now", "reason": "file was deleted"}]}"#,
+    );
+    let baseline = fx.root.join("baseline.json");
+    let (code, _, stderr) = run_lint(&[
+        "--workspace",
+        "--root",
+        root,
+        "--baseline",
+        baseline.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0);
+    assert!(
+        stderr.contains("stale baseline entry"),
+        "stale entries must be surfaced: {stderr}"
+    );
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let (code, _, stderr) = run_lint(&["--no-such-flag"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("usage:"));
+
+    let (code, _, _) = run_lint(&[]);
+    assert_eq!(code, 2, "missing --workspace is a usage error");
+
+    // unreadable baseline is an error, not a silent pass
+    let fx = Fixture::new("badbase");
+    fx.write("Cargo.toml", "[workspace]\n");
+    fx.write("crates/core/src/lib.rs", "#![forbid(unsafe_code)]\n");
+    let (code, _, stderr) = run_lint(&[
+        "--workspace",
+        "--root",
+        fx.root.to_str().unwrap(),
+        "--baseline",
+        "/nonexistent/baseline.json",
+    ]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("baseline"));
+}
+
+#[test]
+fn real_workspace_with_shipped_baseline_is_clean() {
+    // the repo's own tree + lint-baseline.json is the CI invocation; it must
+    // be green or CI is red before this test even runs.
+    let repo =
+        ssr_lint::workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("repo root");
+    let baseline = repo.join("lint-baseline.json");
+    let (code, stdout, stderr) = run_lint(&[
+        "--workspace",
+        "--root",
+        repo.to_str().unwrap(),
+        "--baseline",
+        baseline.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        code, 0,
+        "shipped workspace must lint clean:\n{stdout}{stderr}"
+    );
+    assert!(
+        !stderr.contains("stale baseline entry"),
+        "shipped baseline must not carry stale entries: {stderr}"
+    );
+}

@@ -31,6 +31,7 @@ pub mod event;
 pub mod faults;
 pub mod link;
 pub mod metrics;
+pub mod registry;
 pub mod sim;
 pub mod time;
 pub mod trace;

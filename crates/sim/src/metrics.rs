@@ -25,6 +25,11 @@
 //! conventional ones are `route.len` (physical hops), `route.stretch_milli`
 //! (stretch × 1000, so the log buckets resolve ratios near 1), `state.entries`
 //! (per-node state size), and `latency.ticks` (message latency).
+//!
+//! The machine-readable form of this table lives in [`crate::registry`];
+//! `ssr-lint`'s `metric-registry` rule checks every metric-key literal in
+//! the workspace against it, so a new key must be added there (or under an
+//! open prefix family like `msg.*`) before it will pass CI.
 
 use std::collections::BTreeMap;
 

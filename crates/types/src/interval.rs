@@ -17,7 +17,7 @@ use crate::NodeId;
 /// Which side of the reference node an identifier lies on — the line reading
 /// of the identifier space distinguishes *left* (smaller) from *right*
 /// (larger) neighbors.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Side {
     /// Identifiers smaller than the reference node's.
     Left,

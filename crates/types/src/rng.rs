@@ -322,7 +322,7 @@ mod tests {
     fn choose_covers_all_elements() {
         let mut r = Rng::new(23);
         let items = [1, 2, 3, 4];
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..200 {
             seen.insert(*r.choose(&items).unwrap());
         }

@@ -8,7 +8,7 @@
 //! afresh. This module walks that process over a snapshot of all node
 //! states, mirroring `ssr_core::routing` for experiment E10.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ssr_types::{cw_dist, ring_between_cw, NodeId};
 
@@ -41,7 +41,7 @@ impl VrrRouteOutcome {
 
 /// Immutable routing view over all VRR nodes.
 pub struct VrrRoutingView<'a> {
-    by_id: HashMap<NodeId, &'a VrrNode>,
+    by_id: BTreeMap<NodeId, &'a VrrNode>,
     /// simulator index → node id (path tables store physical link indices).
     id_of_index: Vec<NodeId>,
 }

@@ -16,6 +16,10 @@ test:
 clippy:
     cargo clippy --workspace --all-targets -- -D warnings
 
+# determinism & protocol-invariant static analysis (ssr-lint)
+lint-proto:
+    cargo run --release -q -p ssr-lint -- --workspace --baseline lint-baseline.json
+
 # formatting check
 fmt:
     cargo fmt --all --check

@@ -5,8 +5,11 @@
 
 use proptest::prelude::*;
 use ssr_core::bootstrap::{make_ssr_nodes, run_linearized_bootstrap, BootstrapConfig};
+use ssr_core::routing::RoutingView;
 use ssr_obs::Manifest;
 use ssr_sim::{Histogram, LinkConfig, Simulator, Time, TraceSink};
+use ssr_vrr::bootstrap::run_vrr_bootstrap;
+use ssr_vrr::{VrrMode, VrrRoutingView};
 use ssr_workloads::Topology;
 
 fn hist_of(values: &[u64]) -> Histogram {
@@ -140,6 +143,74 @@ fn same_seed_runs_produce_byte_identical_jsonl_traces() {
             "bad line: {line}"
         );
     }
+}
+
+/// The routing layers were migrated from `HashMap` to `BTreeMap`
+/// (`RouteCache` occupants, `RoutingView`/`VrrRoutingView` id indexes, route
+/// loop-pruning) so that nothing route-visible depends on hasher seeding.
+/// This pins that down end to end: two same-seed runs — SSR and VRR alike —
+/// must produce an *identical* per-pair routing transcript, not merely equal
+/// aggregate stats.
+#[test]
+fn same_seed_routing_transcripts_are_identical() {
+    fn ssr_transcript(seed: u64) -> String {
+        let topo = Topology::UnitDisk { n: 24, scale: 1.3 };
+        let (g, labels) = topo.instance(seed);
+        let cfg = BootstrapConfig::default();
+        let (report, sim) = run_linearized_bootstrap(&g, &labels, &cfg);
+        assert!(report.converged);
+        let view = RoutingView::new(sim.protocols());
+        let mut out = String::new();
+        for a in 0..24usize {
+            for b in 0..24usize {
+                let outcome = view.route(labels.id(a), labels.id(b), 96);
+                out.push_str(&format!("{a}->{b} {outcome:?}\n"));
+            }
+        }
+        out
+    }
+    fn vrr_transcript(seed: u64) -> String {
+        let topo = Topology::UnitDisk { n: 16, scale: 1.3 };
+        let (g, labels) = topo.instance(seed);
+        let (report, sim) = run_vrr_bootstrap(
+            &g,
+            &labels,
+            VrrMode::Linearized,
+            LinkConfig::ideal(),
+            seed,
+            60_000,
+        );
+        assert!(report.converged);
+        let view = VrrRoutingView::new(sim.protocols());
+        let mut out = String::new();
+        for a in 0..16usize {
+            for b in 0..16usize {
+                let outcome = view.route(labels.id(a), labels.id(b), 64);
+                out.push_str(&format!("{a}->{b} {outcome:?}\n"));
+            }
+        }
+        out
+    }
+    let ssr = ssr_transcript(11);
+    assert!(
+        ssr.contains("Delivered"),
+        "SSR transcript must route something"
+    );
+    assert_eq!(
+        ssr,
+        ssr_transcript(11),
+        "SSR routing must be seed-deterministic"
+    );
+    let vrr = vrr_transcript(11);
+    assert!(
+        vrr.contains("Delivered"),
+        "VRR transcript must route something"
+    );
+    assert_eq!(
+        vrr,
+        vrr_transcript(11),
+        "VRR routing must be seed-deterministic"
+    );
 }
 
 /// Different-seed manifests must diff as *different*: counter deltas are
