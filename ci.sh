@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Offline CI: build, test, lint, format check, then the chaos smoke
-# matrix (exp_chaos --smoke: self-stabilization gate) and the
+# matrix (exp_chaos --smoke: self-stabilization gate), the
 # observability smoke path (fig1_loopy with a JSONL trace sink + obs
-# summarize/diff + chaos manifest determinism). Mirrors `just ci`.
+# summarize/diff + chaos manifest determinism), and the perf-baseline
+# smoke (exp_perf --smoke artifact gate). Mirrors `just ci`.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -26,5 +27,27 @@ echo "== chaos smoke =="
 
 echo "== obs smoke =="
 ./scripts/obs_smoke.sh
+
+echo "== perf smoke =="
+# Smoke the perf-baseline path into a scratch file (the checked-in
+# BENCH_perf.json is only refreshed by deliberate full runs), then gate
+# that the artifact parses, carries the current git describe, and has
+# enough scenarios for obs diff to be meaningful.
+perf_out="$(mktemp -d)/BENCH_perf.json"
+./target/release/exp_perf --smoke --out "$perf_out"
+grep -q '"schema": "ssr-bench-perf/1"' "$perf_out"
+describe="$(git describe --always --dirty 2>/dev/null || true)"
+if [ -n "$describe" ]; then
+  grep -qF "\"git\": \"$describe\"" "$perf_out" || {
+    echo "perf smoke: git field does not match 'git describe --always --dirty' ($describe)" >&2
+    exit 1
+  }
+fi
+scenarios="$(grep -c '"name": "' "$perf_out")"
+if [ "$scenarios" -lt 3 ]; then
+  echo "perf smoke: expected >= 3 scenarios, got $scenarios" >&2
+  exit 1
+fi
+rm -rf "$(dirname "$perf_out")"
 
 echo "CI OK"

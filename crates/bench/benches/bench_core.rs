@@ -1,0 +1,117 @@
+//! Criterion core suite: the three paper-level hot paths, end to end.
+//!
+//! Where `benches/micro.rs` times individual routines (cache lookup, codec,
+//! one linearization round), this suite times the *algorithms* the paper is
+//! about, at paper scales:
+//!
+//! * synchronous linearization to convergence at n ∈ {100, 500, 1000};
+//! * greedy routing over a converged ring;
+//! * chaos recovery from a wound-ring corrupted start in the full
+//!   event-driven simulator.
+//!
+//! These are the same shapes `exp_perf` freezes into `BENCH_perf.json`;
+//! run this suite when iterating locally, run `exp_perf` to produce the
+//! comparable artifact.
+//!
+//! Run: `cargo bench -p ssr-bench --bench bench_core` (or `just bench`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ssr_core::bootstrap::{make_ssr_nodes, BootstrapConfig};
+use ssr_core::routing::RoutingView;
+use ssr_core::{chaos, consistency};
+use ssr_linearize::{Semantics, Variant};
+use ssr_sim::{LinkConfig, Simulator};
+use ssr_types::Rng;
+use ssr_workloads::scenario::traffic_pairs;
+use ssr_workloads::Topology;
+
+/// Synchronous linearization (LSN variant) from a random connected graph
+/// to the fully formed line, per size.
+fn bench_linearize_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linearize_convergence");
+    group.sample_size(10);
+    for n in [100usize, 500, 1000] {
+        let topo = Topology::Gnp { n, c: 2.0 };
+        let (g, labels) = topo.instance(3);
+        let (rg, _) = ssr_linearize::convergence::relabel_to_ranks(&g, &labels);
+        group.bench_function(&format!("n{n}"), |b| {
+            b.iter(|| {
+                let run = ssr_linearize::run(
+                    std::hint::black_box(&rg),
+                    Variant::lsn(),
+                    Semantics::Star,
+                    4 * n,
+                );
+                assert!(run.line_at.is_some(), "linearization did not converge");
+                run.rounds.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Greedy routing over a converged ring: the cost of one routed packet
+/// once the bootstrap is done.
+fn bench_greedy_routing(c: &mut Criterion) {
+    let n = 200;
+    let (g, labels) = Topology::UnitDisk { n, scale: 1.3 }.instance(3);
+    let nodes = make_ssr_nodes(&labels, BootstrapConfig::default().ssr);
+    let mut sim = Simulator::new(g, nodes, LinkConfig::ideal(), 3);
+    let outcome = sim.run_until_stable(8, 300_000, |nodes, _| {
+        consistency::check_ring(nodes).consistent()
+    });
+    assert!(outcome.is_quiescent(), "bootstrap failed");
+    let view = RoutingView::new(sim.protocols());
+    let mut rng = Rng::new(11);
+    let traffic = traffic_pairs(n, 256, &mut rng);
+    let ids = labels.ids();
+    let mut i = 0;
+    c.bench_function("greedy_route_n200", |b| {
+        b.iter(|| {
+            i = (i + 1) % traffic.len();
+            let (s, d) = traffic[i];
+            let out = view.route(ids[s], ids[d], n as u32 + 16);
+            assert!(out.delivered());
+            out
+        })
+    });
+}
+
+/// Full event-driven recovery from a wound ring (generalized Figure 1) —
+/// the simulator hot path under a protocol-heavy workload.
+fn bench_chaos_wound_recovery(c: &mut Criterion) {
+    let n = 64;
+    let mut group = c.benchmark_group("chaos_wound_recovery");
+    group.sample_size(10);
+    group.bench_function(&format!("n{n}"), |b| {
+        let mut seed = 0u64;
+        b.iter_batched(
+            || {
+                seed += 1;
+                let (g, labels) = Topology::UnitDisk { n, scale: 1.3 }.instance(seed);
+                let nodes = make_ssr_nodes(&labels, BootstrapConfig::default().ssr);
+                let mut sim = Simulator::new(g, nodes, LinkConfig::ideal(), seed);
+                let succ = chaos::wound_ring_succ(labels.ids(), 3);
+                chaos::apply_succ_corruption(&mut sim, &labels, &succ, true);
+                sim
+            },
+            |mut sim| {
+                let outcome = sim.run_until_stable(8, 300_000, |nodes, _| {
+                    consistency::check_ring(nodes).consistent()
+                });
+                assert!(outcome.is_quiescent(), "recovery failed");
+                sim.now()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_linearize_convergence,
+    bench_greedy_routing,
+    bench_chaos_wound_recovery
+);
+criterion_main!(benches);

@@ -1,0 +1,331 @@
+//! **exp_perf — the permanent performance baseline.**
+//!
+//! Where the criterion suites (`benches/micro.rs`, `benches/bench_core.rs`)
+//! answer "how fast is this routine right now, on this machine", this
+//! binary produces a *comparable artifact*: `BENCH_perf.json` at the repo
+//! root, carrying per-scenario wall time **and** the machine-independent
+//! work ledger the event-driven simulator exposes — messages delivered,
+//! protocol activations, peak pending-event depth. Two of these files from
+//! different commits feed `obs diff old.json new.json --threshold PCT`,
+//! which flags regressions; the counter fields are deterministic for a
+//! given seed, so any drift there is a behavior change, not noise.
+//!
+//! Scenarios (see docs/BENCHMARKS.md for the schema field by field):
+//!
+//! * `convergence_n{100,500,1000}` — linearized SSR bootstrap to global
+//!   ring consistency on a connected unit-disk graph; one op = one full
+//!   convergence run.
+//! * `routing_n500` — greedy routing over the converged ring from a state
+//!   snapshot; one op = one routed packet (no simulator events: the
+//!   counter fields are legitimately zero).
+//! * `chaos_wound_n200` — recovery from a wound-ring corrupted start
+//!   (generalized Figure 1); one op = one full recovery run.
+//! * `idle_watchdog_n500` — a converged, quiescent ring watched across a
+//!   long empty tick range; one op = one probe-grid point. This is the
+//!   scenario the event-wheel fast-forward and the `state_gen` probe cache
+//!   exist for: its ns/op must stay O(1) in n.
+//!
+//! Run: `cargo run --release -p ssr-bench --bin exp_perf`
+//! Flags: `--smoke` (tiny sizes, 1 repeat — the CI gate), `--repeats K`
+//! (default 3), `--seed S` (default 1), `--out PATH` (default
+//! `BENCH_perf.json` in the current directory).
+
+use std::rc::Rc;
+use std::time::Instant;
+
+use ssr_bench::{fmt_count, Args};
+use ssr_core::bootstrap::{make_ssr_nodes, BootstrapConfig};
+use ssr_core::routing::RoutingView;
+use ssr_core::{chaos, consistency};
+use ssr_obs::Value;
+use ssr_sim::faults::Fault;
+use ssr_sim::{shared_watchdog, watchdog_probe, LinkConfig, Simulator, Time};
+use ssr_types::Rng;
+use ssr_workloads::scenario::traffic_pairs;
+use ssr_workloads::Topology;
+
+/// Tick budget for every convergence/recovery run.
+const BUDGET: u64 = 300_000;
+
+/// One `scenarios[]` entry of `BENCH_perf.json`. Counter fields are summed
+/// across repeats (they are deterministic per seed); `wall_ns` is the total
+/// measured wall time, `ns_per_op = wall_ns / ops`.
+struct Row {
+    name: String,
+    repeats: u64,
+    ops: u64,
+    wall_ns: u64,
+    ticks: u64,
+    messages_delivered: u64,
+    node_activations: u64,
+    peak_queue_depth: u64,
+}
+
+impl Row {
+    fn new(name: impl Into<String>) -> Row {
+        Row {
+            name: name.into(),
+            repeats: 0,
+            ops: 0,
+            wall_ns: 0,
+            ticks: 0,
+            messages_delivered: 0,
+            node_activations: 0,
+            peak_queue_depth: 0,
+        }
+    }
+
+    fn absorb(&mut self, sim: &Simulator<ssr_core::node::SsrNode>) {
+        self.ticks += sim.now().ticks();
+        self.messages_delivered += sim.messages_delivered();
+        self.node_activations += sim.node_activations();
+        self.peak_queue_depth = self.peak_queue_depth.max(sim.peak_pending_events() as u64);
+    }
+
+    fn ns_per_op(&self) -> f64 {
+        self.wall_ns as f64 / self.ops.max(1) as f64
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("name".into(), Value::Str(self.name.clone())),
+            ("repeats".into(), Value::Num(self.repeats as f64)),
+            ("ops".into(), Value::Num(self.ops as f64)),
+            ("wall_ns".into(), Value::Num(self.wall_ns as f64)),
+            ("ns_per_op".into(), Value::Num(self.ns_per_op())),
+            ("ticks".into(), Value::Num(self.ticks as f64)),
+            (
+                "messages_delivered".into(),
+                Value::Num(self.messages_delivered as f64),
+            ),
+            (
+                "node_activations".into(),
+                Value::Num(self.node_activations as f64),
+            ),
+            (
+                "peak_queue_depth".into(),
+                Value::Num(self.peak_queue_depth as f64),
+            ),
+        ])
+    }
+}
+
+/// A converged linearized-SSR simulator on a connected unit-disk graph.
+fn converged_sim(
+    n: usize,
+    seed: u64,
+    config: ssr_core::node::SsrConfig,
+) -> (Simulator<ssr_core::node::SsrNode>, ssr_graph::Labeling) {
+    let (g, labels) = Topology::UnitDisk { n, scale: 1.3 }.instance(seed);
+    let nodes = make_ssr_nodes(&labels, config);
+    let mut sim = Simulator::new(g, nodes, LinkConfig::ideal(), seed);
+    let outcome = sim.run_until_stable(8, BUDGET, |nodes, _| {
+        consistency::check_ring(nodes).consistent()
+    });
+    assert!(
+        outcome.is_quiescent(),
+        "bootstrap failed (n={n} seed={seed})"
+    );
+    (sim, labels)
+}
+
+/// Full bootstrap to global consistency; one op per run.
+fn bench_convergence(n: usize, seed: u64, repeats: u64) -> Row {
+    let mut row = Row::new(format!("convergence_n{n}"));
+    for r in 0..repeats {
+        let seed = seed + r;
+        let (g, labels) = Topology::UnitDisk { n, scale: 1.3 }.instance(seed);
+        let nodes = make_ssr_nodes(&labels, BootstrapConfig::default().ssr);
+        let mut sim = Simulator::new(g, nodes, LinkConfig::ideal(), seed);
+        let start = Instant::now();
+        let outcome = sim.run_until_stable(8, BUDGET, |nodes, _| {
+            consistency::check_ring(nodes).consistent()
+        });
+        row.wall_ns += start.elapsed().as_nanos() as u64;
+        assert!(
+            outcome.is_quiescent(),
+            "bootstrap failed (n={n} seed={seed})"
+        );
+        row.repeats += 1;
+        row.ops += 1;
+        row.absorb(&sim);
+    }
+    row
+}
+
+/// Greedy routing over the converged ring; one op per routed packet. The
+/// walk is over a state snapshot — no simulator events fire, so the
+/// counter fields stay zero by construction.
+fn bench_routing(n: usize, pairs: usize, seed: u64, repeats: u64) -> Row {
+    let mut row = Row::new(format!("routing_n{n}"));
+    for r in 0..repeats {
+        let seed = seed + r;
+        let (sim, labels) = converged_sim(n, seed, BootstrapConfig::default().ssr);
+        let view = RoutingView::new(sim.protocols());
+        let mut rng = Rng::new(seed ^ 0x9E37);
+        let traffic = traffic_pairs(n, pairs, &mut rng);
+        let max_hops = n as u32 + 16;
+        let start = Instant::now();
+        let mut delivered = 0u64;
+        for &(s, d) in &traffic {
+            if view
+                .route(labels.ids()[s], labels.ids()[d], max_hops)
+                .delivered()
+            {
+                delivered += 1;
+            }
+        }
+        row.wall_ns += start.elapsed().as_nanos() as u64;
+        assert_eq!(
+            delivered,
+            traffic.len() as u64,
+            "consistent-ring routing must deliver every packet"
+        );
+        row.repeats += 1;
+        row.ops += traffic.len() as u64;
+    }
+    row
+}
+
+/// Recovery from a wound-ring corrupted start; one op per recovery run.
+fn bench_chaos_wound(n: usize, seed: u64, repeats: u64) -> Row {
+    let mut row = Row::new(format!("chaos_wound_n{n}"));
+    for r in 0..repeats {
+        let seed = seed + r;
+        let (g, labels) = Topology::UnitDisk { n, scale: 1.3 }.instance(seed);
+        let nodes = make_ssr_nodes(&labels, BootstrapConfig::default().ssr);
+        let mut sim = Simulator::new(g, nodes, LinkConfig::ideal(), seed);
+        let succ = chaos::wound_ring_succ(labels.ids(), 3.min(n));
+        chaos::apply_succ_corruption(&mut sim, &labels, &succ, true);
+        let start = Instant::now();
+        let outcome = sim.run_until_stable(8, BUDGET, |nodes, _| {
+            consistency::check_ring(nodes).consistent()
+        });
+        row.wall_ns += start.elapsed().as_nanos() as u64;
+        assert!(
+            outcome.is_quiescent(),
+            "recovery failed (n={n} seed={seed})"
+        );
+        row.repeats += 1;
+        row.ops += 1;
+        row.absorb(&sim);
+    }
+    row
+}
+
+/// A converged, quiescent ring watched across `idle_ticks` empty ticks:
+/// the watchdog grid walks the whole range, but with `state_gen` frozen
+/// every firing after the first reuses the cached O(n) scan. One op per
+/// probe-grid point; ns/op here must not grow with n.
+fn bench_idle_watchdog(n: usize, idle_ticks: u64, seed: u64) -> Row {
+    let mut row = Row::new(format!("idle_watchdog_n{n}"));
+    // Self-quiescing configuration: the default audit heartbeat runs
+    // forever (churn insurance), but this scenario needs a genuinely
+    // empty event wheel.
+    let config = ssr_core::node::SsrConfig {
+        audit_quiet: 4,
+        ..Default::default()
+    };
+    let (mut sim, _labels) = converged_sim(n, seed, config);
+    // Ring consistency precedes full quiescence: audits and in-flight acks
+    // keep trickling for a while. Drain them so the watched range is
+    // genuinely empty.
+    assert!(
+        sim.run_to_quiescence(BUDGET).is_quiescent(),
+        "converged ring failed to drain (n={n} seed={seed})"
+    );
+    let wd = shared_watchdog();
+    let grid = 8u64;
+    sim.add_probe(
+        grid,
+        watchdog_probe(
+            u64::MAX / 2, // never freeze: this scenario measures the grid walk
+            Rc::clone(&wd),
+            chaos::ssr_signature,
+            |nodes| consistency::check_ring(nodes).consistent(),
+            chaos::ssr_all_locally_consistent,
+        ),
+    );
+    // Keep exactly one far-future event pending so the run loop walks the
+    // probe grid instead of going quiescent (a heal with nothing cut is a
+    // no-op).
+    let deadline = Time(sim.now().ticks() + idle_ticks);
+    sim.schedule_fault(deadline, Fault::Heal);
+    let before_acts = sim.node_activations();
+    let start = Instant::now();
+    sim.run_until(deadline);
+    row.wall_ns += start.elapsed().as_nanos() as u64;
+    assert_eq!(
+        sim.node_activations(),
+        before_acts,
+        "idle range must not activate any protocol"
+    );
+    row.repeats = 1;
+    row.ops = idle_ticks / grid;
+    row.ticks = idle_ticks;
+    row.peak_queue_depth = sim.peak_pending_events() as u64;
+    row
+}
+
+fn emit(rows: &[Row], seed: u64, smoke: bool, out_path: &str) {
+    let git = match ssr_obs::git_describe() {
+        Some(d) => Value::Str(d),
+        None => Value::Null,
+    };
+    let doc = Value::Obj(vec![
+        ("schema".into(), Value::Str("ssr-bench-perf/1".into())),
+        ("git".into(), git),
+        ("seed".into(), Value::Num(seed as f64)),
+        ("smoke".into(), Value::Bool(smoke)),
+        (
+            "scenarios".into(),
+            Value::Arr(rows.iter().map(Row::to_value).collect()),
+        ),
+    ]);
+    match std::fs::write(out_path, doc.to_json_pretty() + "\n") {
+        Ok(()) => println!("\n(perf baseline written to {out_path})"),
+        Err(e) => {
+            eprintln!("error: could not write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("smoke");
+    let seed: u64 = args.get("seed", 1);
+    let repeats: u64 = if smoke { 1 } else { args.get("repeats", 3) };
+    let out_path = args.opt("out").unwrap_or("BENCH_perf.json").to_string();
+
+    let convergence_sizes: &[usize] = if smoke { &[50] } else { &[100, 500, 1000] };
+    let (routing_n, routing_pairs) = if smoke { (50, 64) } else { (500, 2_000) };
+    let chaos_n = if smoke { 50 } else { 200 };
+    let (idle_n, idle_ticks) = if smoke { (50, 10_000) } else { (500, 200_000) };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &n in convergence_sizes {
+        rows.push(bench_convergence(n, seed, repeats));
+    }
+    rows.push(bench_routing(routing_n, routing_pairs, seed, repeats));
+    rows.push(bench_chaos_wound(chaos_n, seed, repeats));
+    rows.push(bench_idle_watchdog(idle_n, idle_ticks, seed));
+
+    println!(
+        "{:<22} {:>12} {:>10} {:>12} {:>12} {:>10}",
+        "scenario", "ns/op", "ops", "delivered", "activations", "peak q"
+    );
+    for r in &rows {
+        println!(
+            "{:<22} {:>12} {:>10} {:>12} {:>12} {:>10}",
+            r.name,
+            fmt_count(r.ns_per_op() as u64),
+            fmt_count(r.ops),
+            fmt_count(r.messages_delivered),
+            fmt_count(r.node_activations),
+            r.peak_queue_depth
+        );
+    }
+
+    emit(&rows, seed, smoke, &out_path);
+}

@@ -355,16 +355,29 @@ pub fn invariant_probe(
 ) -> impl FnMut(&mut ProbeView<'_, SsrNode>) {
     let mut diag_disconnect = false;
     let mut diag_rise = false;
+    // (state_gen, potential, union components) at the last full audit.
+    // When nothing in the simulation changed between firings
+    // (`ProbeView::state_gen` unchanged) the audit result is exact and the
+    // O(n + m) rescan is skipped; every sample is still *recorded*, so the
+    // counters and manifests are byte-identical with or without the cache.
+    let mut audited: Option<(u64, u128, usize)> = None;
     move |view: &mut ProbeView<'_, SsrNode>| {
         let now = view.now.ticks();
         let mut st = state.borrow_mut();
         st.samples += 1;
         st.flood_msgs = view.metrics.counter("msg.flood");
-        let phi = linearization_potential(view.protocols, view.alive);
+        let (phi, comps) = match audited {
+            Some((gen, phi, comps)) if gen == view.state_gen => (phi, comps),
+            _ => {
+                let phi = linearization_potential(view.protocols, view.alive);
+                let comps = union_components(view.topology, view.alive, &labels, view.protocols);
+                audited = Some((view.state_gen, phi, comps));
+                (phi, comps)
+            }
+        };
         st.current_potential = phi;
         view.metrics.observe("chaos.potential", phi as f64);
         let armed = now >= st.armed_after;
-        let comps = union_components(view.topology, view.alive, &labels, view.protocols);
         if comps > 1 && armed {
             st.union_disconnected += 1;
             view.metrics.incr("probe.invariant.union_disconnected");

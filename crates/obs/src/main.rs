@@ -3,29 +3,39 @@
 
 use std::process::ExitCode;
 
-use ssr_obs::report::{diff, format_trace_line, summarize, TraceFilter};
+use ssr_obs::report::{
+    diff, diff_perf, format_trace_line, is_perf_baseline, summarize, TraceFilter,
+};
 use ssr_obs::{parse, Value};
 
 const USAGE: &str = "\
 usage:
   obs summarize <manifest.json>
   obs diff <a.manifest.json> <b.manifest.json>
+  obs diff <a.BENCH_perf.json> <b.BENCH_perf.json> [--threshold PCT]
   obs trace <trace.jsonl> [--ev KIND] [--node N] [--since T] [--until T]
 
 subcommands:
   summarize   one-screen view of a run manifest (counters, histogram
               percentiles, condensed convergence timeline)
   diff        counter deltas, histogram percentile shifts, and
-              convergence-time regressions between two manifests
+              convergence-time regressions between two manifests; when
+              both files are ssr-bench-perf/1 baselines (exp_perf output),
+              compares per-scenario timing and work counters instead and
+              exits non-zero on regressions beyond --threshold (default 10)
   trace       human-readable, filterable view of a JSONL trace file
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(text) => {
+        Ok((text, ok)) => {
             print!("{text}");
-            ExitCode::SUCCESS
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(msg) => {
             eprintln!("obs: {msg}");
@@ -35,24 +45,59 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<String, String> {
+/// Runs a subcommand; `Ok((report, ok))` where `ok = false` means the
+/// report was produced but the process should exit non-zero (a flagged
+/// perf regression).
+fn run(args: &[String]) -> Result<(String, bool), String> {
     match args.first().map(String::as_str) {
         Some("summarize") => {
             let path = args.get(1).ok_or("summarize needs a manifest path")?;
-            Ok(summarize(&load_json(path)?))
+            Ok((summarize(&load_json(path)?), true))
         }
         Some("diff") => {
             let a = args.get(1).ok_or("diff needs two manifest paths")?;
             let b = args.get(2).ok_or("diff needs two manifest paths")?;
-            Ok(diff(&load_json(a)?, &load_json(b)?))
+            let threshold = diff_threshold(&args[3..])?;
+            let (va, vb) = (load_json(a)?, load_json(b)?);
+            match (is_perf_baseline(&va), is_perf_baseline(&vb)) {
+                (true, true) => {
+                    let (report, regressed) = diff_perf(&va, &vb, threshold.unwrap_or(10.0));
+                    Ok((report, !regressed))
+                }
+                (false, false) => {
+                    if threshold.is_some() {
+                        return Err("--threshold only applies to perf baselines".into());
+                    }
+                    Ok((diff(&va, &vb), true))
+                }
+                _ => Err(format!(
+                    "cannot diff a perf baseline against a run manifest ({a} vs {b})"
+                )),
+            }
         }
         Some("trace") => {
             let path = args.get(1).ok_or("trace needs a JSONL path")?;
             let filter = trace_filter(&args[2..])?;
-            trace_report(path, &filter)
+            Ok((trace_report(path, &filter)?, true))
         }
         Some(other) => Err(format!("unknown subcommand '{other}'")),
         None => Err("no subcommand".to_string()),
+    }
+}
+
+/// Parses the optional `--threshold PCT` tail of `obs diff`.
+fn diff_threshold(rest: &[String]) -> Result<Option<f64>, String> {
+    match rest.first().map(String::as_str) {
+        None => Ok(None),
+        Some("--threshold") => {
+            let v = rest.get(1).ok_or("--threshold needs a value")?;
+            let pct: f64 = v.parse().map_err(|e| format!("--threshold {v}: {e}"))?;
+            if !pct.is_finite() || pct < 0.0 {
+                return Err(format!("--threshold {v}: must be a non-negative percent"));
+            }
+            Ok(Some(pct))
+        }
+        Some(other) => Err(format!("unknown flag '{other}'")),
     }
 }
 
@@ -147,9 +192,9 @@ mod tests {
              {\"ev\":\"lost\",\"at\":2,\"from\":0,\"to\":1,\"reason\":\"link-drop\"}\n",
         )
         .unwrap();
-        let all = run(&["trace".into(), trace_path.display().to_string()]).unwrap();
+        let (all, _) = run(&["trace".into(), trace_path.display().to_string()]).unwrap();
         assert!(all.contains("2 of 2"));
-        let sends = run(&[
+        let (sends, _) = run(&[
             "trace".into(),
             trace_path.display().to_string(),
             "--ev".into(),
@@ -163,14 +208,67 @@ mod tests {
         man.seed(3);
         let man_path = dir.join("m.json");
         man.write_to(&man_path).unwrap();
-        let s = run(&["summarize".into(), man_path.display().to_string()]).unwrap();
+        let (s, _) = run(&["summarize".into(), man_path.display().to_string()]).unwrap();
         assert!(s.contains("cli_test"));
-        let d = run(&[
+        let (d, ok) = run(&[
             "diff".into(),
             man_path.display().to_string(),
             man_path.display().to_string(),
         ])
         .unwrap();
         assert!(d.contains("no differences"));
+        assert!(ok);
+        // --threshold is a perf-baseline flag
+        assert!(run(&[
+            "diff".into(),
+            man_path.display().to_string(),
+            man_path.display().to_string(),
+            "--threshold".into(),
+            "5".into(),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn perf_diff_over_files_sets_exit_status() {
+        let dir = std::env::temp_dir().join("ssr_obs_cli_perf_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mk = |name: &str, ns: f64| {
+            let path = dir.join(name);
+            std::fs::write(
+                &path,
+                format!(
+                    "{{\"schema\":\"ssr-bench-perf/1\",\"git\":\"x\",\"seed\":1,\
+                     \"scenarios\":[{{\"name\":\"s\",\"ops\":1,\"ns_per_op\":{ns},\
+                     \"ticks\":1,\"messages_delivered\":1,\"node_activations\":1,\
+                     \"peak_queue_depth\":1}}]}}"
+                ),
+            )
+            .unwrap();
+            path.display().to_string()
+        };
+        let a = mk("a.json", 1000.0);
+        let b = mk("b.json", 1500.0);
+        let (report, ok) = run(&["diff".into(), a.clone(), b.clone()]).unwrap();
+        assert!(!ok, "{report}");
+        assert!(report.contains("** regression **"), "{report}");
+        // a generous threshold clears it
+        let (report, ok) = run(&[
+            "diff".into(),
+            a.clone(),
+            b,
+            "--threshold".into(),
+            "60".into(),
+        ])
+        .unwrap();
+        assert!(ok, "{report}");
+        // perf baseline vs plain manifest is an error
+        let man_path = dir.join("m.json");
+        let man = ssr_obs::Manifest::new("cli_test");
+        man.write_to(&man_path).unwrap();
+        assert!(run(&["diff".into(), a, man_path.display().to_string()]).is_err());
+        assert!(diff_threshold(&["--threshold".into(), "-3".into()]).is_err());
+        assert!(diff_threshold(&["--threshold".into()]).is_err());
+        assert!(diff_threshold(&["--wat".into()]).is_err());
     }
 }

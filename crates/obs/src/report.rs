@@ -347,6 +347,127 @@ pub fn diff(a: &Value, b: &Value) -> String {
     out
 }
 
+/// Schema tag of a `BENCH_perf.json` perf baseline (written by `exp_perf`).
+pub const PERF_SCHEMA: &str = "ssr-bench-perf/1";
+
+/// `true` when a parsed JSON document is a perf baseline rather than a run
+/// manifest — `obs diff` dispatches on this.
+pub fn is_perf_baseline(v: &Value) -> bool {
+    v.get("schema").and_then(|s| s.as_str()) == Some(PERF_SCHEMA)
+}
+
+/// Diff of two `BENCH_perf.json` perf baselines, per scenario name.
+///
+/// * `ns_per_op` / `wall_ns` are wall-clock: a change is flagged as a
+///   regression only when B is slower than A by more than `threshold_pct`
+///   percent (noise below the threshold is shown but not flagged).
+/// * `ticks`, `ops`, `messages_delivered`, `node_activations`, and
+///   `peak_queue_depth` are deterministic for a given seed: *any* change
+///   is reported (it is a behavior change, not noise), and increases
+///   beyond the threshold are flagged.
+///
+/// Returns the report and whether any regression was flagged — the CLI
+/// exits non-zero on `true`, which is what makes `obs diff old new
+/// --threshold 20` usable as a CI perf gate.
+pub fn diff_perf(a: &Value, b: &Value, threshold_pct: f64) -> (String, bool) {
+    let mut out = String::new();
+    let git = |m: &Value| {
+        m.get("git")
+            .and_then(|g| g.as_str())
+            .unwrap_or("?")
+            .to_string()
+    };
+    let _ = writeln!(out, "A: perf baseline @ {}", git(a));
+    let _ = writeln!(out, "B: perf baseline @ {}", git(b));
+    let _ = writeln!(out, "regression threshold: +{threshold_pct}%");
+
+    let scenarios = |m: &Value| -> Vec<Value> {
+        m.get("scenarios")
+            .and_then(|s| s.as_arr())
+            .map(|arr| arr.to_vec())
+            .unwrap_or_default()
+    };
+    let name_of = |s: &Value| {
+        s.get("name")
+            .and_then(|n| n.as_str())
+            .unwrap_or("?")
+            .to_string()
+    };
+    let sa = scenarios(a);
+    let sb = scenarios(b);
+    let mut regressions = 0usize;
+
+    for ea in &sa {
+        let name = name_of(ea);
+        let Some(eb) = sb.iter().find(|s| name_of(s) == name) else {
+            let _ = writeln!(out, "\n{name}: only in A");
+            continue;
+        };
+        let mut lines: Vec<String> = Vec::new();
+        let num = |s: &Value, k: &str| s.get(k).and_then(|v| v.as_f64());
+        // wall-clock: threshold-gated
+        if let (Some(x), Some(y)) = (num(ea, "ns_per_op"), num(eb, "ns_per_op")) {
+            if x > 0.0 {
+                let pct = (y - x) * 100.0 / x;
+                if pct.abs() >= 0.05 {
+                    let flag = if pct > threshold_pct {
+                        regressions += 1;
+                        "  ** regression **"
+                    } else {
+                        ""
+                    };
+                    lines.push(format!("ns_per_op {x:.0} -> {y:.0} ({pct:+.1}%){flag}"));
+                }
+            }
+        }
+        // deterministic work ledger: any drift is a behavior change
+        for key in [
+            "ticks",
+            "ops",
+            "messages_delivered",
+            "node_activations",
+            "peak_queue_depth",
+        ] {
+            let x = num(ea, key).unwrap_or(0.0);
+            let y = num(eb, key).unwrap_or(0.0);
+            if x != y {
+                let flag = if x > 0.0 && (y - x) * 100.0 / x > threshold_pct {
+                    regressions += 1;
+                    "  ** regression **"
+                } else {
+                    ""
+                };
+                lines.push(format!(
+                    "{key} {} -> {}  (behavior change){flag}",
+                    x as u64, y as u64
+                ));
+            }
+        }
+        if !lines.is_empty() {
+            let _ = writeln!(out, "\n{name}:");
+            for l in lines {
+                let _ = writeln!(out, "  {l}");
+            }
+        }
+    }
+    for eb in &sb {
+        let name = name_of(eb);
+        if !sa.iter().any(|s| name_of(s) == name) {
+            let _ = writeln!(out, "\n{name}: only in B");
+        }
+    }
+
+    if regressions == 0 {
+        let _ = writeln!(out, "\nno regressions beyond +{threshold_pct}%");
+    } else {
+        let _ = writeln!(
+            out,
+            "\n{regressions} regression(s) beyond +{threshold_pct}%"
+        );
+    }
+    (out, regressions > 0)
+}
+
 fn delta(a: u64, b: u64) -> String {
     let d = b as i128 - a as i128;
     let sign = if d >= 0 { "+" } else { "" };
@@ -533,6 +654,82 @@ mod tests {
         // identical chaos sections stay silent
         let d = diff(&a, &a);
         assert!(d.contains("no differences"), "{d}");
+    }
+
+    fn perf_baseline(git: &str, ns_per_op: f64, delivered: u64) -> Value {
+        let doc = format!(
+            "{{\"schema\":\"ssr-bench-perf/1\",\"git\":\"{git}\",\"seed\":1,\
+             \"scenarios\":[{{\"name\":\"convergence_n100\",\"ops\":3,\
+             \"ns_per_op\":{ns_per_op},\"ticks\":88,\
+             \"messages_delivered\":{delivered},\"node_activations\":9622,\
+             \"peak_queue_depth\":648}}]}}"
+        );
+        parse(&doc).unwrap()
+    }
+
+    #[test]
+    fn perf_baselines_are_recognized() {
+        assert!(is_perf_baseline(&perf_baseline("abc", 100.0, 5)));
+        assert!(!is_perf_baseline(&manifest_with(1, 500, 4, 64)));
+        assert!(!is_perf_baseline(&parse("{}").unwrap()));
+    }
+
+    #[test]
+    fn perf_diff_flags_wall_regressions_beyond_threshold() {
+        let a = perf_baseline("old", 1000.0, 500);
+        // +30% wall, counters unchanged: regression at 10%, noise at 50%
+        let b = perf_baseline("new", 1300.0, 500);
+        let (report, failed) = diff_perf(&a, &b, 10.0);
+        assert!(failed, "{report}");
+        assert!(
+            report.contains("ns_per_op 1000 -> 1300 (+30.0%)"),
+            "{report}"
+        );
+        assert!(report.contains("** regression **"), "{report}");
+        assert!(report.contains("1 regression(s) beyond +10%"), "{report}");
+        let (report, failed) = diff_perf(&a, &b, 50.0);
+        assert!(!failed, "{report}");
+        assert!(report.contains("no regressions beyond +50%"), "{report}");
+    }
+
+    #[test]
+    fn perf_diff_reports_counter_drift_as_behavior_change() {
+        let a = perf_baseline("old", 1000.0, 500);
+        let mut report = diff_perf(&a, &perf_baseline("new", 1000.0, 520), 10.0);
+        // +4% delivered: reported (deterministic drift) but under threshold
+        assert!(!report.1, "{}", report.0);
+        assert!(
+            report.0.contains("messages_delivered 500 -> 520"),
+            "{}",
+            report.0
+        );
+        assert!(report.0.contains("behavior change"), "{}", report.0);
+        // +100% delivered: flagged
+        report = diff_perf(&a, &perf_baseline("new", 1000.0, 1000), 10.0);
+        assert!(report.1, "{}", report.0);
+    }
+
+    #[test]
+    fn perf_diff_of_identical_baselines_is_clean() {
+        let a = perf_baseline("same", 1000.0, 500);
+        let (report, failed) = diff_perf(&a, &a, 10.0);
+        assert!(!failed);
+        assert!(report.contains("no regressions"), "{report}");
+    }
+
+    #[test]
+    fn perf_diff_reports_scenario_set_changes() {
+        let a = perf_baseline("old", 1000.0, 500);
+        let b = parse(
+            "{\"schema\":\"ssr-bench-perf/1\",\"git\":\"new\",\"seed\":1,\
+             \"scenarios\":[{\"name\":\"routing_n500\",\"ops\":1,\
+             \"ns_per_op\":5.0,\"ticks\":0,\"messages_delivered\":0,\
+             \"node_activations\":0,\"peak_queue_depth\":0}]}",
+        )
+        .unwrap();
+        let (report, _) = diff_perf(&a, &b, 10.0);
+        assert!(report.contains("convergence_n100: only in A"), "{report}");
+        assert!(report.contains("routing_n500: only in B"), "{report}");
     }
 
     #[test]

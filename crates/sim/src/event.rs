@@ -1,12 +1,31 @@
-//! The event queue.
+//! The event queue: a deterministic pending-delivery wheel.
 //!
-//! A binary heap of timestamped events. Determinism matters more than
-//! anything here: events with equal timestamps are delivered in insertion
-//! order (a strictly increasing sequence number breaks ties), so a
-//! simulation is a pure function of `(topology, protocols, seed)`.
+//! Determinism matters more than anything here: events with equal
+//! timestamps are delivered in insertion order, so a simulation is a pure
+//! function of `(topology, protocols, seed)`.
+//!
+//! The default backend is a **tick wheel** — a `BTreeMap` from arrival tick
+//! to a FIFO bucket of events (honoring the workspace's
+//! determinism-collections rule). Compared to the binary heap it replaced,
+//! the wheel
+//!
+//! * needs no global tie-break sequence number: FIFO order *within* a tick
+//!   bucket is insertion order by construction;
+//! * pops a whole tick's worth of events from one bucket instead of paying
+//!   a heap sift per event (most events cluster on few ticks under the
+//!   unit-latency round model);
+//! * exposes the next occupied tick ([`EventQueue::next_tick`]) in O(1)
+//!   amortized, which is what lets the run loops fast-forward across empty
+//!   tick ranges instead of idling through them.
+//!
+//! The pre-wheel binary-heap implementation is retained as
+//! [`QueueBackend::ReferenceHeap`], selectable only so equivalence tests
+//! can prove byte-identical schedules (see
+//! `tests/tests/perf_equivalence.rs`); production code always uses the
+//! wheel.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use crate::time::Time;
 
@@ -33,25 +52,48 @@ pub enum EventKind<M> {
     Fault(crate::faults::Fault),
 }
 
-/// A timestamped queue entry.
+/// A timestamped event as returned by [`EventQueue::pop`].
 #[derive(Clone, Debug)]
 pub struct QueuedEvent<M> {
     /// Firing time.
     pub at: Time,
-    /// Tie-break: insertion order.
-    pub seq: u64,
     /// Payload.
     pub kind: EventKind<M>,
 }
 
-impl<M> PartialEq for QueuedEvent<M> {
+/// Which scheduling structure backs an [`EventQueue`].
+///
+/// Both backends produce the *identical* event schedule — earliest tick
+/// first, FIFO among events on the same tick. The heap is the pre-wheel
+/// implementation, kept only so the equivalence tests can demonstrate
+/// that, byte for byte, against real workloads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueBackend {
+    /// `BTreeMap<tick, bucket>` pending-delivery wheel (the default).
+    #[default]
+    TickWheel,
+    /// The pre-wheel binary heap with a global insertion-sequence
+    /// tie-break. Reference implementation for equivalence tests only.
+    ReferenceHeap,
+}
+
+/// A heap entry of the reference backend: global insertion sequence breaks
+/// timestamp ties.
+#[derive(Clone, Debug)]
+struct HeapEvent<M> {
+    at: Time,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for HeapEvent<M> {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<M> Eq for QueuedEvent<M> {}
+impl<M> Eq for HeapEvent<M> {}
 
-impl<M> Ord for QueuedEvent<M> {
+impl<M> Ord for HeapEvent<M> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest first.
         other
@@ -60,59 +102,127 @@ impl<M> Ord for QueuedEvent<M> {
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
-impl<M> PartialOrd for QueuedEvent<M> {
+impl<M> PartialOrd for HeapEvent<M> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
+enum Inner<M> {
+    Wheel(BTreeMap<u64, VecDeque<EventKind<M>>>),
+    Heap {
+        heap: BinaryHeap<HeapEvent<M>>,
+        next_seq: u64,
+    },
+}
+
 /// The event queue: earliest timestamp first, FIFO among equals.
-#[derive(Debug)]
 pub struct EventQueue<M> {
-    heap: BinaryHeap<QueuedEvent<M>>,
-    next_seq: u64,
+    inner: Inner<M>,
+    len: usize,
+    peak_len: usize,
 }
 
 impl<M> Default for EventQueue<M> {
     fn default() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-        }
+        Self::with_backend(QueueBackend::TickWheel)
     }
 }
 
 impl<M> EventQueue<M> {
-    /// An empty queue.
+    /// An empty tick-wheel queue.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty queue over an explicit [`QueueBackend`].
+    pub fn with_backend(backend: QueueBackend) -> Self {
+        let inner = match backend {
+            QueueBackend::TickWheel => Inner::Wheel(BTreeMap::new()),
+            QueueBackend::ReferenceHeap => Inner::Heap {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+            },
+        };
+        EventQueue {
+            inner,
+            len: 0,
+            peak_len: 0,
+        }
+    }
+
     /// Schedules `kind` at time `at`.
     pub fn push(&mut self, at: Time, kind: EventKind<M>) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(QueuedEvent { at, seq, kind });
+        match &mut self.inner {
+            Inner::Wheel(wheel) => {
+                wheel.entry(at.ticks()).or_default().push_back(kind);
+            }
+            Inner::Heap { heap, next_seq } => {
+                let seq = *next_seq;
+                *next_seq += 1;
+                heap.push(HeapEvent { at, seq, kind });
+            }
+        }
+        self.len += 1;
+        self.peak_len = self.peak_len.max(self.len);
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<QueuedEvent<M>> {
-        self.heap.pop()
+        let ev = match &mut self.inner {
+            Inner::Wheel(wheel) => {
+                let mut entry = wheel.first_entry()?;
+                let tick = *entry.key();
+                let bucket = entry.get_mut();
+                let kind = bucket.pop_front().expect("empty bucket left in wheel");
+                if bucket.is_empty() {
+                    entry.remove();
+                }
+                QueuedEvent {
+                    at: Time(tick),
+                    kind,
+                }
+            }
+            Inner::Heap { heap, .. } => {
+                let e = heap.pop()?;
+                QueuedEvent {
+                    at: e.at,
+                    kind: e.kind,
+                }
+            }
+        };
+        self.len -= 1;
+        Some(ev)
     }
 
     /// Timestamp of the earliest event without removing it.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.at)
+        self.next_tick().map(Time)
+    }
+
+    /// Earliest occupied tick, if any — the target the run loops
+    /// fast-forward to across empty tick ranges.
+    pub fn next_tick(&self) -> Option<u64> {
+        match &self.inner {
+            Inner::Wheel(wheel) => wheel.keys().next().copied(),
+            Inner::Heap { heap, .. } => heap.peek().map(|e| e.at.ticks()),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// `true` when nothing is pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+
+    /// High-water mark of [`EventQueue::len`] over the queue's lifetime —
+    /// the "peak queue depth" reported by the benchmark harness.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 }
 
@@ -124,39 +234,96 @@ mod tests {
         EventKind::Timer { node, token: 0 }
     }
 
+    fn backends() -> [QueueBackend; 2] {
+        [QueueBackend::TickWheel, QueueBackend::ReferenceHeap]
+    }
+
     #[test]
     fn earliest_first() {
-        let mut q = EventQueue::new();
-        q.push(Time(5), timer(5));
-        q.push(Time(1), timer(1));
-        q.push(Time(3), timer(3));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.0).collect();
-        assert_eq!(order, vec![1, 3, 5]);
+        for backend in backends() {
+            let mut q = EventQueue::with_backend(backend);
+            q.push(Time(5), timer(5));
+            q.push(Time(1), timer(1));
+            q.push(Time(3), timer(3));
+            let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.0).collect();
+            assert_eq!(order, vec![1, 3, 5], "{backend:?}");
+        }
     }
 
     #[test]
     fn fifo_among_equal_timestamps() {
-        let mut q = EventQueue::new();
-        for node in 0..10 {
-            q.push(Time(7), timer(node));
+        for backend in backends() {
+            let mut q = EventQueue::with_backend(backend);
+            for node in 0..10 {
+                q.push(Time(7), timer(node));
+            }
+            let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+                .map(|e| match e.kind {
+                    EventKind::Timer { node, .. } => node,
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(order, (0..10).collect::<Vec<_>>(), "{backend:?}");
         }
-        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
-                EventKind::Timer { node, .. } => node,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(order, (0..10).collect::<Vec<_>>());
     }
 
     #[test]
     fn peek_and_len() {
+        for backend in backends() {
+            let mut q: EventQueue<()> = EventQueue::with_backend(backend);
+            assert!(q.is_empty());
+            assert_eq!(q.peek_time(), None);
+            assert_eq!(q.next_tick(), None);
+            q.push(Time(2), timer(0));
+            q.push(Time(1), timer(1));
+            assert_eq!(q.peek_time(), Some(Time(1)));
+            assert_eq!(q.next_tick(), Some(1));
+            assert_eq!(q.len(), 2);
+        }
+    }
+
+    #[test]
+    fn peak_depth_is_a_high_water_mark() {
         let mut q: EventQueue<()> = EventQueue::new();
+        for i in 0..8 {
+            q.push(Time(i), timer(0));
+        }
+        for _ in 0..8 {
+            q.pop();
+        }
         assert!(q.is_empty());
-        assert_eq!(q.peek_time(), None);
-        q.push(Time(2), timer(0));
-        q.push(Time(1), timer(1));
-        assert_eq!(q.peek_time(), Some(Time(1)));
-        assert_eq!(q.len(), 2);
+        assert_eq!(q.peak_len(), 8);
+        q.push(Time(100), timer(0));
+        assert_eq!(q.peak_len(), 8, "peak must not reset");
+    }
+
+    /// The two backends must produce the same schedule on an interleaved
+    /// push/pop workload — the invariant the integration-level equivalence
+    /// test re-proves against full chaos scenarios.
+    #[test]
+    fn wheel_matches_reference_heap() {
+        let mut wheel = EventQueue::with_backend(QueueBackend::TickWheel);
+        let mut heap = EventQueue::with_backend(QueueBackend::ReferenceHeap);
+        let mut rng = ssr_types::Rng::new(99);
+        let mut log_w = Vec::new();
+        let mut log_h = Vec::new();
+        for round in 0..200u64 {
+            let t = Time(rng.range(0, 50));
+            wheel.push(t, timer(round as usize));
+            heap.push(t, timer(round as usize));
+            if rng.chance(0.4) {
+                let (a, b) = (wheel.pop(), heap.pop());
+                if let (Some(a), Some(b)) = (&a, &b) {
+                    log_w.push((a.at.0, format!("{:?}", a.kind)));
+                    log_h.push((b.at.0, format!("{:?}", b.kind)));
+                }
+            }
+        }
+        while let (Some(a), Some(b)) = (wheel.pop(), heap.pop()) {
+            log_w.push((a.at.0, format!("{:?}", a.kind)));
+            log_h.push((b.at.0, format!("{:?}", b.kind)));
+        }
+        assert!(wheel.is_empty() && heap.is_empty());
+        assert_eq!(log_w, log_h);
     }
 }

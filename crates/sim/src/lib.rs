@@ -37,6 +37,7 @@ pub mod time;
 pub mod trace;
 pub mod watchdog;
 
+pub use event::QueueBackend;
 pub use link::LinkConfig;
 pub use metrics::{merge_series, Histogram, Metrics, SeriesPoint};
 pub use sim::{Ctx, ProbeView, Protocol, RunOutcome, Simulator};

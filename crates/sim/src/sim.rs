@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use ssr_graph::Graph;
 use ssr_types::Rng;
 
-use crate::event::{EventKind, EventQueue};
+use crate::event::{EventKind, EventQueue, QueueBackend};
 use crate::faults::Fault;
 use crate::link::LinkConfig;
 use crate::metrics::Metrics;
@@ -157,6 +157,15 @@ impl<'a, M> Ctx<'a, M> {
 /// A read-only snapshot of the simulation handed to [probes](Simulator::add_probe),
 /// plus mutable access to the metrics registry so probes can record
 /// gauges, histograms and series samples.
+///
+/// Probes that scan all protocol state every firing (watchdog signatures,
+/// ring classification, invariant audits) should gate the scan on
+/// [`ProbeView::state_gen`]: if it equals the value seen at the previous
+/// firing, *nothing* in the simulation changed in between — no protocol
+/// callback ran and no fault was applied — so the previous scan result is
+/// still exact and the O(n) rescan can be skipped. This is what makes
+/// probe grids over long idle tick ranges cost O(1) per grid point instead
+/// of O(n).
 pub struct ProbeView<'a, P: Protocol> {
     /// Current simulated time.
     pub now: Time,
@@ -175,6 +184,23 @@ pub struct ProbeView<'a, P: Protocol> {
     pub pending_events: usize,
     /// Total events processed so far.
     pub events_processed: u64,
+    /// The **dirty-node set**: nodes whose protocol callbacks ran (or whose
+    /// state was injected via [`Simulator::protocol_mut`]) since the
+    /// previous probe batch, in first-activation order. Cleared after every
+    /// batch of due probes fires, so probes sharing a grid point see the
+    /// same set. Empty means no protocol state changed since the last
+    /// firing of *any* probe — probes on one shared grid can use it for
+    /// incremental work; probes on differing grids should gate on
+    /// [`ProbeView::state_gen`] instead.
+    pub dirty_nodes: &'a [usize],
+    /// Total protocol callback invocations ("node activations") so far —
+    /// the work metric reported by `exp_perf` alongside messages delivered.
+    pub activations: u64,
+    /// Monotone generation counter, bumped on every protocol callback,
+    /// fault application, and experiment-side state injection. Equal values
+    /// across two probe firings guarantee the simulation state (protocols,
+    /// topology, liveness) is bit-for-bit unchanged between them.
+    pub state_gen: u64,
 }
 
 /// A probe callback (boxed so heterogeneous observers can coexist).
@@ -211,6 +237,18 @@ impl RunOutcome {
 }
 
 /// The discrete-event simulator.
+///
+/// Execution is **event-driven end to end**: pending work lives in a
+/// deterministic tick-wheel [`EventQueue`], so quiescent nodes cost zero
+/// work and the run loops fast-forward simulated time straight to the next
+/// occupied tick (or the next probe-grid point, whichever is earlier)
+/// instead of idling tick by tick. Alongside the wheel the simulator keeps
+/// an **active-set ledger** — a per-batch dirty-node set plus monotone
+/// activation/state-generation counters — which probes use to skip O(n)
+/// state scans across idle ranges (see [`ProbeView::state_gen`]) and which
+/// the benchmark harness reports as its work metrics
+/// ([`Simulator::node_activations`], [`Simulator::messages_delivered`],
+/// [`Simulator::peak_pending_events`]).
 pub struct Simulator<P: Protocol> {
     topo: Graph,
     alive: Vec<bool>,
@@ -231,6 +269,16 @@ pub struct Simulator<P: Protocol> {
     action_buf: Vec<Action<P::Msg>>,
     events_processed: u64,
     probes: Vec<Probe<P>>,
+    /// `dirty[u]` — node `u` was dispatched since the last probe batch.
+    dirty: Vec<bool>,
+    /// Distinct dirty nodes in first-activation order (mirrors `dirty`).
+    dirty_nodes: Vec<usize>,
+    /// Total protocol callback invocations.
+    activations: u64,
+    /// Bumped on every dispatch, fault, and experiment-side injection.
+    state_gen: u64,
+    /// Messages actually delivered to a protocol (post loss/liveness).
+    deliveries: u64,
 }
 
 impl<P: Protocol> Simulator<P> {
@@ -251,6 +299,24 @@ impl<P: Protocol> Simulator<P> {
         seed: u64,
         trace: TraceSink,
     ) -> Self {
+        Self::with_trace_backend(topo, protocols, cfg, seed, trace, QueueBackend::default())
+    }
+
+    /// Like [`Simulator::with_trace`] with an explicit [`QueueBackend`].
+    ///
+    /// Only equivalence tests should pass
+    /// [`QueueBackend::ReferenceHeap`] — it re-runs a workload on the
+    /// pre-wheel scheduling structure so the two schedules can be compared
+    /// byte for byte. Everything else uses [`Simulator::new`] /
+    /// [`Simulator::with_trace`], which select the tick wheel.
+    pub fn with_trace_backend(
+        topo: Graph,
+        protocols: Vec<P>,
+        cfg: LinkConfig,
+        seed: u64,
+        trace: TraceSink,
+        backend: QueueBackend,
+    ) -> Self {
         assert_eq!(
             protocols.len(),
             topo.node_count(),
@@ -261,7 +327,7 @@ impl<P: Protocol> Simulator<P> {
             topo,
             alive: vec![true; n],
             protocols,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_backend(backend),
             now: Time::ZERO,
             cfg,
             link_overrides: BTreeMap::new(),
@@ -273,6 +339,11 @@ impl<P: Protocol> Simulator<P> {
             action_buf: Vec::new(),
             events_processed: 0,
             probes: Vec::new(),
+            dirty: vec![false; n],
+            dirty_nodes: Vec::new(),
+            activations: 0,
+            state_gen: 0,
+            deliveries: 0,
         };
         for node in 0..n {
             sim.dispatch(node, |p, ctx| p.on_init(ctx));
@@ -304,7 +375,13 @@ impl<P: Protocol> Simulator<P> {
     /// *state injection* (e.g. starting from the paper's adversarial loopy
     /// or partitioned configurations). Protocol callbacks themselves never
     /// get this.
+    ///
+    /// The node is conservatively marked dirty and the state generation is
+    /// bumped, so probes caching on [`ProbeView::state_gen`] never reuse a
+    /// scan across an injection.
     pub fn protocol_mut(&mut self, u: usize) -> &mut P {
+        self.mark_dirty(u);
+        self.state_gen += 1;
         &mut self.protocols[u]
     }
 
@@ -331,6 +408,38 @@ impl<P: Protocol> Simulator<P> {
     /// Number of pending events.
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// High-water mark of the pending-event queue over the run — the "peak
+    /// queue depth" scenario metric in `BENCH_perf.json`.
+    pub fn peak_pending_events(&self) -> usize {
+        self.queue.peak_len()
+    }
+
+    /// Total protocol callback invocations so far ("node activations") —
+    /// with [`Simulator::messages_delivered`], the work metric the
+    /// benchmark harness reports instead of wall-clock ticks alone.
+    pub fn node_activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Messages actually delivered to a protocol (after loss, liveness and
+    /// stale-link filtering) so far.
+    pub fn messages_delivered(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// Current state generation (see [`ProbeView::state_gen`]).
+    pub fn state_generation(&self) -> u64 {
+        self.state_gen
+    }
+
+    /// Marks `u` dirty for the next probe batch (idempotent per batch).
+    fn mark_dirty(&mut self, u: usize) {
+        if !self.dirty[u] {
+            self.dirty[u] = true;
+            self.dirty_nodes.push(u);
+        }
     }
 
     /// Overrides the link configuration for the single direction
@@ -414,10 +523,12 @@ impl<P: Protocol> Simulator<P> {
             return;
         }
         let mut probes = std::mem::take(&mut self.probes);
+        let mut fired = false;
         for probe in probes.iter_mut() {
             if probe.next_at > self.now {
                 continue;
             }
+            fired = true;
             let mut view = ProbeView {
                 now: self.now,
                 protocols: &self.protocols,
@@ -427,6 +538,9 @@ impl<P: Protocol> Simulator<P> {
                 trace: &self.trace,
                 pending_events: self.queue.len(),
                 events_processed: self.events_processed,
+                dirty_nodes: &self.dirty_nodes,
+                activations: self.activations,
+                state_gen: self.state_gen,
             };
             (probe.f)(&mut view);
             while probe.next_at <= self.now {
@@ -435,9 +549,18 @@ impl<P: Protocol> Simulator<P> {
         }
         debug_assert!(self.probes.is_empty(), "probe registered a probe");
         self.probes = probes;
+        if fired {
+            for u in self.dirty_nodes.drain(..) {
+                self.dirty[u] = false;
+            }
+        }
     }
 
     /// Processes a single event. Returns `false` when the queue is empty.
+    ///
+    /// Simulated time jumps directly to the event's tick — empty tick
+    /// ranges are fast-forwarded over, never iterated. Only nodes with an
+    /// event to process do any work; a quiescent node costs nothing.
     pub fn step(&mut self) -> bool {
         let Some(ev) = self.queue.pop() else {
             return false;
@@ -461,6 +584,12 @@ impl<P: Protocol> Simulator<P> {
     /// Registered probes fire on their tick grids, interleaved with event
     /// processing in deterministic order (all events strictly before a
     /// probe's deadline run first).
+    ///
+    /// Time advances by fast-forward only: to the next occupied tick of
+    /// the event wheel, or to the next probe-grid point, whichever is
+    /// earlier. A tick range containing neither costs nothing, and once
+    /// the queue drains the clock stops — probes do not keep firing on
+    /// their grids out to the deadline.
     pub fn run_until(&mut self, deadline: Time) -> RunOutcome {
         loop {
             // Fire any probe due before (or at the same tick as) the next
@@ -531,6 +660,9 @@ impl<P: Protocol> Simulator<P> {
     /// Runs `node`'s callback with a fully wired [`Ctx`], then applies the
     /// actions it queued.
     fn dispatch(&mut self, node: usize, f: impl FnOnce(&mut P, &mut Ctx<'_, P::Msg>)) {
+        self.activations += 1;
+        self.state_gen += 1;
+        self.mark_dirty(node);
         let mut nbrs = std::mem::take(&mut self.nbr_buf);
         nbrs.clear();
         nbrs.extend(self.topo.neighbors(node).filter(|&v| self.alive[v]));
@@ -637,10 +769,12 @@ impl<P: Protocol> Simulator<P> {
             });
         }
         self.metrics.incr("rx.total");
+        self.deliveries += 1;
         self.dispatch(dst, |p, ctx| p.on_message(ctx, from, msg));
     }
 
     fn apply_fault(&mut self, fault: Fault) {
+        self.state_gen += 1;
         if self.trace.enabled() {
             self.trace.record(TraceEvent::Fault {
                 at: self.now,
@@ -1237,6 +1371,128 @@ mod tests {
         }
         let topo = generators::line(3);
         let _ = Simulator::new(topo, vec![Bad, Bad, Bad], LinkConfig::ideal(), 0);
+    }
+
+    /// Edge case: a delivery scheduled *exactly on* a probe-grid tick. The
+    /// probe must observe the state strictly before the same-tick events —
+    /// on line(3) the tick-1 delivery to node 1 is invisible to the tick-1
+    /// probe and visible to the tick-2 probe.
+    #[test]
+    fn probe_on_a_delivery_tick_sees_pre_delivery_state() {
+        let topo = generators::line(3);
+        let protocols: Vec<Flood> = (0..3)
+            .map(|u| Flood {
+                seen: false,
+                first_hops: None,
+                origin: u == 0,
+            })
+            .collect();
+        let mut sim = Simulator::new(topo, protocols, LinkConfig::ideal(), 1);
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let log: Rc<RefCell<Vec<(u64, usize, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+        let log2 = Rc::clone(&log);
+        sim.add_probe(1, move |view| {
+            let reached = view.protocols.iter().filter(|p| p.seen).count();
+            log2.borrow_mut()
+                .push((view.now.ticks(), reached, view.dirty_nodes.len()));
+        });
+        assert!(sim.run_to_quiescence(1_000).is_quiescent());
+        // t=0: only the origin (its init broadcast is queued, not delivered);
+        // the dirty set carries all 3 init dispatches.
+        // t=1: the delivery to node 1 lands *at* this grid tick — the probe
+        // still sees reached=1, and nothing ran since the t=0 batch.
+        // t=2: node 1's tick-1 activation is now visible.
+        // t=3: node 2's tick-2 activation (plus node 0's wasted redelivery).
+        let log = log.borrow();
+        assert_eq!(*log, vec![(0, 1, 3), (1, 1, 0), (2, 2, 1), (3, 3, 2)]);
+        assert_eq!(sim.protocol(2).first_hops, Some(2));
+    }
+
+    /// Edge case: a partition heals inside a tick range containing no other
+    /// events. The fault events are the only occupied ticks; the run
+    /// fast-forwards between them, probes keep their grid, and the clock
+    /// stops at the heal instead of idling to the deadline.
+    #[test]
+    fn partition_heal_during_an_empty_tick_range() {
+        let topo = generators::complete(4);
+        let edges = topo.edge_count();
+        // no origin: zero protocol traffic, the fault schedule is all there is
+        let protocols: Vec<Flood> = (0..4)
+            .map(|_| Flood {
+                seen: false,
+                first_hops: None,
+                origin: false,
+            })
+            .collect();
+        let mut sim = Simulator::new(topo, protocols, LinkConfig::ideal(), 2);
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let ticks: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        let t2 = Rc::clone(&ticks);
+        sim.add_probe(7, move |view| t2.borrow_mut().push(view.now.ticks()));
+        sim.schedule_fault(
+            Time(100),
+            Fault::Partition {
+                groups: vec![vec![0, 1], vec![2, 3]],
+            },
+        );
+        sim.schedule_fault(Time(200), Fault::Heal);
+        let outcome = sim.run_until(Time(300));
+        // the queue drained at the heal; the clock did not idle to 300
+        assert_eq!(outcome, RunOutcome::Quiescent(Time(200)));
+        assert_eq!(sim.topology().edge_count(), edges);
+        assert_eq!(sim.metrics().counter("fault.partition_cut"), 4);
+        assert_eq!(sim.metrics().counter("fault.heal_link"), 4);
+        let ticks = ticks.borrow();
+        // the probe grid spans both empty ranges: 0, 7, ..., 196
+        assert_eq!(ticks.first(), Some(&0));
+        assert_eq!(ticks.last(), Some(&196));
+        assert!(ticks.windows(2).all(|w| w[1] - w[0] == 7));
+    }
+
+    #[test]
+    fn work_ledger_counts_activations_deliveries_and_peak_depth() {
+        let mut sim = flood_sim(8, 3);
+        let init_acts = sim.node_activations();
+        assert_eq!(init_acts, 8, "one on_init per node");
+        assert_eq!(sim.messages_delivered(), 0);
+        sim.run_to_quiescence(1_000);
+        // every delivery is one activation on top of the inits
+        assert_eq!(sim.node_activations(), init_acts + sim.messages_delivered());
+        assert_eq!(sim.messages_delivered(), sim.metrics().counter("rx.total"));
+        // degree-2 ring: the origin's init broadcast alone pends 2 events
+        assert!(sim.peak_pending_events() >= 2);
+        assert!(sim.peak_pending_events() <= 16);
+    }
+
+    #[test]
+    fn reference_heap_backend_produces_the_same_run() {
+        let run = |backend| {
+            let topo = generators::gnp(24, 0.2, &mut Rng::new(5));
+            let protocols: Vec<Flood> = (0..24)
+                .map(|u| Flood {
+                    seen: false,
+                    first_hops: None,
+                    origin: u == 0,
+                })
+                .collect();
+            let trace = TraceSink::memory();
+            let mut sim = Simulator::with_trace_backend(
+                topo,
+                protocols,
+                LinkConfig::jittered(1, 3),
+                77,
+                trace.clone(),
+                backend,
+            );
+            sim.run_to_quiescence(10_000);
+            (trace.take(), sim.metrics().clone(), sim.now())
+        };
+        let wheel = run(crate::event::QueueBackend::TickWheel);
+        let heap = run(crate::event::QueueBackend::ReferenceHeap);
+        assert_eq!(wheel.0, heap.0, "traces diverged");
+        assert_eq!(wheel.2, heap.2, "end times diverged");
     }
 
     #[test]

@@ -110,6 +110,13 @@ pub fn shared_watchdog() -> SharedWatchdog {
 /// * `converged` — the experiment's convergence predicate.
 /// * `locally_consistent` — `true` when *every* node is locally happy;
 ///   distinguishes the crossing state from a plain stuck state.
+///
+/// The O(n) `signature` and `converged` scans are gated on
+/// [`ProbeView::state_gen`]: when nothing in the simulation changed since
+/// the previous firing (no callback ran, no fault applied), the cached
+/// results are exact and are reused, so a watchdog grid crossing a long
+/// idle tick range costs O(1) per grid point. The freeze-window clock
+/// still advances every firing — caching never delays a freeze verdict.
 pub fn watchdog_probe<P, S, C, L>(
     freeze_window: u64,
     state: SharedWatchdog,
@@ -124,9 +131,19 @@ where
     L: FnMut(&[P]) -> bool,
 {
     assert!(freeze_window > 0, "freeze window must be positive");
+    // (state_gen, signature, converged) at the most recent full scan.
+    let mut scanned: Option<(u64, u64, bool)> = None;
     move |view: &mut ProbeView<'_, P>| {
         let now = view.now.ticks();
-        let sig = signature(view.protocols);
+        let (sig, is_converged) = match scanned {
+            Some((gen, sig, conv)) if gen == view.state_gen => (sig, conv),
+            _ => {
+                let sig = signature(view.protocols);
+                let conv = converged(view.protocols);
+                scanned = Some((view.state_gen, sig, conv));
+                (sig, conv)
+            }
+        };
         let mut st = state.borrow_mut();
         if st.last_sig != Some(sig) {
             // state changed: thaw
@@ -136,7 +153,7 @@ where
                 st.verdict = Verdict::Active;
             }
         }
-        if converged(view.protocols) {
+        if is_converged {
             st.verdict = Verdict::Converged;
             return;
         }
@@ -298,6 +315,53 @@ mod tests {
         assert_eq!(st.borrow().verdict, Verdict::Converged);
         assert_eq!(st.borrow().freezes, 0);
         assert_eq!(sim.metrics().counter("probe.watchdog_frozen"), 0);
+    }
+
+    /// Sleeps 1000 ticks between timers; state never changes.
+    #[derive(Clone)]
+    struct Sleeper;
+    impl Protocol for Sleeper {
+        type Msg = ();
+        fn on_init(&mut self, ctx: &mut Ctx<'_, ()>) {
+            ctx.set_timer(1_000, 0);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: usize, _: ()) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, _: u64) {
+            ctx.set_timer(1_000, 0);
+        }
+        fn reset(&mut self) {}
+    }
+
+    /// Edge case: the freeze window elapses entirely inside an empty tick
+    /// range (the next event is 1000 ticks out). The watchdog grid must
+    /// keep walking across the fast-forwarded range — and with nothing
+    /// changing, every firing after the first hits the state_gen-cached
+    /// scan — so the freeze is classified at tick 64, not at tick 1000.
+    #[test]
+    fn freeze_window_spans_a_fast_forward() {
+        let topo = generators::line(3);
+        let mut sim = Simulator::with_trace(
+            topo,
+            vec![Sleeper; 3],
+            LinkConfig::ideal(),
+            1,
+            TraceSink::disabled(),
+        );
+        let state = shared_watchdog();
+        let st = Rc::clone(&state);
+        sim.add_probe(
+            8,
+            watchdog_probe(64, state, |_: &[Sleeper]| 42, |_| false, |_| true),
+        );
+        let st2 = Rc::clone(&st);
+        let outcome = sim.run_until_stable(8, 10_000, move |_, _| st2.borrow().is_frozen());
+        assert_eq!(st.borrow().verdict, Verdict::FrozenCrossing);
+        assert_eq!(st.borrow().frozen_at, Some(64));
+        assert!(
+            outcome.time().ticks() < 1_000,
+            "must fail fast inside the empty range, got {:?}",
+            outcome
+        );
     }
 
     #[test]

@@ -31,3 +31,12 @@ obs-smoke:
 # chaos matrix smoke: adversarial scenarios must self-stabilize
 chaos-smoke:
     cargo run --release -q -p ssr-bench --bin exp_chaos -- --smoke
+
+# criterion suites: routine-level (micro) + algorithm-level (bench_core)
+bench:
+    cargo bench -p ssr-bench --bench micro
+    cargo bench -p ssr-bench --bench bench_core
+
+# regenerate the committed perf baseline (BENCH_perf.json at the repo root)
+perf-baseline:
+    cargo run --release -p ssr-bench --bin exp_perf
