@@ -2,7 +2,8 @@
 # Offline CI: build, test, lint, format check, then the chaos smoke
 # matrix (exp_chaos --smoke: self-stabilization gate), the
 # observability smoke path (fig1_loopy with a JSONL trace sink + obs
-# summarize/diff + chaos manifest determinism), and the perf-baseline
+# summarize/diff/causes + chaos manifest determinism with the causal
+# ledger on + obs flame/top attribution gates), and the perf-baseline
 # smoke (exp_perf --smoke artifact gate). Mirrors `just ci`.
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -35,7 +36,7 @@ echo "== perf smoke =="
 # enough scenarios for obs diff to be meaningful.
 perf_out="$(mktemp -d)/BENCH_perf.json"
 ./target/release/exp_perf --smoke --out "$perf_out"
-grep -q '"schema": "ssr-bench-perf/1"' "$perf_out"
+grep -q '"schema": "ssr-bench-perf/2"' "$perf_out"
 describe="$(git describe --always --dirty 2>/dev/null || true)"
 if [ -n "$describe" ]; then
   grep -qF "\"git\": \"$describe\"" "$perf_out" || {

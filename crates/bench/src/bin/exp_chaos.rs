@@ -10,7 +10,10 @@
 //! handshakes with stale cache routes). Every run carries the freeze
 //! watchdog and the invariant checker (union-graph connectedness, zero
 //! floods, linearization-potential audit); verdicts and recovery costs go
-//! into the `chaos` section of the run manifest (schema `ssr-obs/2`).
+//! into the `chaos` section of the run manifest, and every SSR scenario
+//! runs with the causal ledger on, so the manifest also carries the
+//! merged `provenance` section (schema `ssr-obs/3`) that `obs flame` and
+//! `obs top` profile — see docs/PROFILING.md.
 //!
 //! A final block runs the *watched* VRR bootstrap on seeds known to hit
 //! DESIGN.md finding 7, demonstrating that the crossing-state freeze is
@@ -29,7 +32,10 @@ use ssr_core::bootstrap::{make_ssr_nodes, BootstrapConfig};
 use ssr_core::{chaos, consistency};
 use ssr_graph::{generators, Labeling};
 use ssr_sim::faults::{partition_groups, poisson_crash_rejoin_trace, Fault};
-use ssr_sim::{shared_watchdog, watchdog_probe, LinkConfig, Metrics, Simulator, Time, Verdict};
+use ssr_sim::{
+    shared_watchdog, watchdog_probe, LinkConfig, Metrics, ProvenanceSummary, QueueBackend,
+    Simulator, Time, TraceSink, Verdict,
+};
 use ssr_types::Rng;
 use ssr_vrr::{run_vrr_bootstrap_watched, VrrMode};
 use ssr_workloads::{parallel_map, summarize_counts, Table, Topology};
@@ -129,6 +135,7 @@ struct Outcome {
     union_disconnected: u64,
     potential_rises: u64,
     metrics: Metrics,
+    provenance: ProvenanceSummary,
 }
 
 /// Fault window length in ticks: adversary knobs are active over
@@ -149,7 +156,17 @@ fn run_scenario(spec: &Spec, n: usize, seed: u64, freeze_window: u64) -> Outcome
     if spec.reorder > 0.0 {
         link = link.with_reorder(spec.reorder, 6);
     }
-    let mut sim = Simulator::new(g.clone(), nodes, link, seed);
+    // the causal ledger is on for every chaos run: it never touches the
+    // RNG, so verdicts and recovery costs are identical to an
+    // uninstrumented run, and the merged summary feeds `obs flame`/`obs top`
+    let mut sim = Simulator::instrumented(
+        g.clone(),
+        nodes,
+        link,
+        seed,
+        TraceSink::disabled(),
+        QueueBackend::default(),
+    );
     let mut frng = Rng::new(seed ^ 0x00C4_A05C);
 
     match spec.corrupt {
@@ -274,6 +291,9 @@ fn run_scenario(spec: &Spec, n: usize, seed: u64, freeze_window: u64) -> Outcome
         wd.borrow().verdict.label()
     };
     let inv = inv.borrow();
+    let provenance = sim.causal_summary().expect("chaos sims are instrumented");
+    let mut metrics = sim.metrics().clone();
+    provenance.record_metrics(&mut metrics);
     Outcome {
         converged,
         verdict,
@@ -282,7 +302,8 @@ fn run_scenario(spec: &Spec, n: usize, seed: u64, freeze_window: u64) -> Outcome
         floods: sim.metrics().counter("msg.flood"),
         union_disconnected: inv.union_disconnected,
         potential_rises: inv.potential_rises,
-        metrics: sim.metrics().clone(),
+        metrics,
+        provenance,
     }
 }
 
@@ -322,6 +343,7 @@ fn main() {
         .config("window", WINDOW)
         .config("freeze_window", freeze_window);
     let mut agg = Metrics::new();
+    let mut agg_prov = ProvenanceSummary::default();
     // CI gate: every SSR scenario must self-stabilize (converge without
     // freezing or flooding, union graph connected). Violations are
     // collected so the table and manifest still come out, then fail the
@@ -350,6 +372,7 @@ fn main() {
                     potential_rises: o.potential_rises,
                 });
                 agg.merge(&o.metrics);
+                agg_prov.merge(&o.provenance);
                 if o.converged {
                     agg.observe_hist("chaos.recovery_ticks", o.recovery_ticks);
                     agg.observe_hist("chaos.recovery_msgs", o.recovery_msgs);
@@ -447,6 +470,7 @@ fn main() {
         println!("(csv written to {path})");
     }
     man.record_metrics(&agg);
+    man.record_provenance(&agg_prov);
     ssr_bench::emit_manifest(&mut man, started);
     if !failures.is_empty() {
         eprintln!("\nFAIL: self-stabilization violated:");

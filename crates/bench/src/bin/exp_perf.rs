@@ -10,6 +10,12 @@
 //! which flags regressions; the counter fields are deterministic for a
 //! given seed, so any drift there is a behavior change, not noise.
 //!
+//! Since schema `ssr-bench-perf/2`, simulation scenarios also carry a
+//! message breakdown (`messages_by_cause`, `messages_by_kind`, `wasted`,
+//! `wasted_per_mille`) measured by one extra *untimed* run with the
+//! causal ledger on (docs/PROFILING.md) — the timing repeats stay
+//! uninstrumented so `ns_per_op` is never perturbed by the profiler.
+//!
 //! Scenarios (see docs/BENCHMARKS.md for the schema field by field):
 //!
 //! * `convergence_n{100,500,1000}` — linearized SSR bootstrap to global
@@ -39,7 +45,10 @@ use ssr_core::routing::RoutingView;
 use ssr_core::{chaos, consistency};
 use ssr_obs::Value;
 use ssr_sim::faults::Fault;
-use ssr_sim::{shared_watchdog, watchdog_probe, LinkConfig, Simulator, Time};
+use ssr_sim::{
+    shared_watchdog, watchdog_probe, LinkConfig, ProvenanceSummary, QueueBackend, Simulator, Time,
+    TraceSink,
+};
 use ssr_types::Rng;
 use ssr_workloads::scenario::traffic_pairs;
 use ssr_workloads::Topology;
@@ -59,6 +68,10 @@ struct Row {
     messages_delivered: u64,
     node_activations: u64,
     peak_queue_depth: u64,
+    /// Causal-ledger snapshot from one extra untimed instrumented run
+    /// (`ssr-bench-perf/2`); `None` for scenarios without simulator
+    /// messages (routing, idle).
+    breakdown: Option<ProvenanceSummary>,
 }
 
 impl Row {
@@ -72,6 +85,7 @@ impl Row {
             messages_delivered: 0,
             node_activations: 0,
             peak_queue_depth: 0,
+            breakdown: None,
         }
     }
 
@@ -87,7 +101,7 @@ impl Row {
     }
 
     fn to_value(&self) -> Value {
-        Value::Obj(vec![
+        let mut fields: Vec<(String, Value)> = vec![
             ("name".into(), Value::Str(self.name.clone())),
             ("repeats".into(), Value::Num(self.repeats as f64)),
             ("ops".into(), Value::Num(self.ops as f64)),
@@ -106,7 +120,37 @@ impl Row {
                 "peak_queue_depth".into(),
                 Value::Num(self.peak_queue_depth as f64),
             ),
-        ])
+        ];
+        if let Some(s) = &self.breakdown {
+            let fold = |pick: fn(&(&'static str, &'static str)) -> &'static str| -> Value {
+                let mut totals: Vec<(String, f64)> = Vec::new();
+                for (key, stats) in &s.messages {
+                    let name = pick(key);
+                    match totals.iter_mut().find(|(n, _)| n == name) {
+                        Some((_, v)) => *v += stats.delivered as f64,
+                        None => totals.push((name.to_string(), stats.delivered as f64)),
+                    }
+                }
+                Value::Obj(
+                    totals
+                        .into_iter()
+                        .map(|(k, v)| (k, Value::Num(v)))
+                        .collect(),
+                )
+            };
+            let delivered = s.delivered();
+            let wasted = s.wasted();
+            fields.push(("messages_by_cause".into(), fold(|&(cause, _)| cause)));
+            fields.push(("messages_by_kind".into(), fold(|&(_, kind)| kind)));
+            fields.push(("wasted".into(), Value::Num(wasted as f64)));
+            // integer ratio: a float here would tie the artifact's
+            // byte-determinism to float formatting
+            fields.push((
+                "wasted_per_mille".into(),
+                Value::Num((wasted * 1000 / delivered.max(1)) as f64),
+            ));
+        }
+        Value::Obj(fields)
     }
 }
 
@@ -150,7 +194,39 @@ fn bench_convergence(n: usize, seed: u64, repeats: u64) -> Row {
         row.ops += 1;
         row.absorb(&sim);
     }
+    row.breakdown = Some(breakdown_run(n, seed, |_sim, _labels| {}));
     row
+}
+
+/// One extra *untimed* instrumented run of a scenario — ledger on, same
+/// seed as the first timing repeat — for the `ssr-bench-perf/2` message
+/// breakdown. `corrupt` mutates the initial state (no-op for plain
+/// bootstrap).
+fn breakdown_run(
+    n: usize,
+    seed: u64,
+    corrupt: impl Fn(&mut Simulator<ssr_core::node::SsrNode>, &ssr_graph::Labeling),
+) -> ProvenanceSummary {
+    let (g, labels) = Topology::UnitDisk { n, scale: 1.3 }.instance(seed);
+    let nodes = make_ssr_nodes(&labels, BootstrapConfig::default().ssr);
+    let mut sim = Simulator::instrumented(
+        g,
+        nodes,
+        LinkConfig::ideal(),
+        seed,
+        TraceSink::disabled(),
+        QueueBackend::default(),
+    );
+    corrupt(&mut sim, &labels);
+    let outcome = sim.run_until_stable(8, BUDGET, |nodes, _| {
+        consistency::check_ring(nodes).consistent()
+    });
+    assert!(
+        outcome.is_quiescent(),
+        "breakdown run failed (n={n} seed={seed})"
+    );
+    sim.causal_summary()
+        .expect("breakdown runs are instrumented")
 }
 
 /// Greedy routing over the converged ring; one op per routed packet. The
@@ -210,6 +286,10 @@ fn bench_chaos_wound(n: usize, seed: u64, repeats: u64) -> Row {
         row.ops += 1;
         row.absorb(&sim);
     }
+    row.breakdown = Some(breakdown_run(n, seed, |sim, labels| {
+        let succ = chaos::wound_ring_succ(labels.ids(), 3.min(n));
+        chaos::apply_succ_corruption(sim, labels, &succ, true);
+    }));
     row
 }
 
@@ -273,7 +353,7 @@ fn emit(rows: &[Row], seed: u64, smoke: bool, out_path: &str) {
         None => Value::Null,
     };
     let doc = Value::Obj(vec![
-        ("schema".into(), Value::Str("ssr-bench-perf/1".into())),
+        ("schema".into(), Value::Str("ssr-bench-perf/2".into())),
         ("git".into(), git),
         ("seed".into(), Value::Num(seed as f64)),
         ("smoke".into(), Value::Bool(smoke)),

@@ -29,7 +29,7 @@
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
-use ssr_sim::{Ctx, Protocol};
+use ssr_sim::{CauseClass, Ctx, Protocol};
 use ssr_types::{IntervalPartition, NodeId, SeqNo};
 
 use crate::cache::RouteCache;
@@ -222,6 +222,7 @@ impl SsrNode {
     /// global ring needs to be mutual. Auditing every set member instead
     /// would perpetually resurrect edges linearization just delegated away.
     fn run_audit(&mut self, ctx: &mut Ctx<'_, SsrMsg>) {
+        let prev = ctx.set_cause(CauseClass::LinearizationStep);
         // wrap partners are deliberately NOT audited: an audit arrives as a
         // plain notification, which would enter the wrap edge into the
         // peer's *side set* and get it linearized away. Lost wrap edges
@@ -245,6 +246,7 @@ impl SsrNode {
             };
             self.send_payload(ctx, &route, payload);
         }
+        ctx.set_cause(prev);
     }
 
     /// Queues a (deduplicated) linearization action `act_interval` ticks
@@ -495,6 +497,7 @@ impl SsrNode {
         if p.seq != seq {
             return; // timer from a superseded handshake
         }
+        let prev = ctx.set_cause(CauseClass::LinearizationStep);
         if p.retries >= 4 {
             // the handshake cannot complete — after churn, a set member's
             // source route may silently be dead. Drop the unresponsive
@@ -523,6 +526,7 @@ impl SsrNode {
                 }
             }
             self.schedule_act(ctx);
+            ctx.set_cause(prev);
             return;
         }
         p.retries += 1;
@@ -539,6 +543,7 @@ impl SsrNode {
             Direction::Cw => TOKEN_RETRY_RIGHT,
         };
         ctx.set_timer(delay, token | ((seq.0 as u64) << 8));
+        ctx.set_cause(prev);
     }
 
     /// A ring edge at a node whose "empty" side gained a neighbor was
@@ -557,10 +562,12 @@ impl SsrNode {
     }
 
     fn teardown_to(&mut self, ctx: &mut Ctx<'_, SsrMsg>, other: NodeId) {
+        let prev = ctx.set_cause(CauseClass::LinearizationStep);
         if let Some(route) = self.route_to(other).cloned() {
             self.send_payload(ctx, &route, Payload::Teardown { from: self.id });
         }
         self.cache.unpin(other);
+        ctx.set_cause(prev);
     }
 
     /// One linearization step on one side, if that side has more than one
@@ -596,6 +603,7 @@ impl SsrNode {
                 (keep, drop)
             }
         };
+        let prev = ctx.set_cause(CauseClass::LinearizationStep);
         let seq = self.seq.bump();
         self.introduce(ctx, keep, drop, seq);
         self.introduce(ctx, drop, keep, seq);
@@ -625,6 +633,7 @@ impl SsrNode {
                 );
             }
         }
+        ctx.set_cause(prev);
     }
 
     /// Launches ring-closure probes for empty sides; (re)arms the probe
@@ -633,6 +642,7 @@ impl SsrNode {
         if self.cache.is_empty() {
             return;
         }
+        let prev = ctx.set_cause(CauseClass::LinearizationStep);
         let need_cw = self.left.is_empty() && self.wrap_pred.is_none();
         let need_ccw =
             self.config.ccw_redundancy && self.right.is_empty() && self.wrap_succ.is_none();
@@ -645,6 +655,7 @@ impl SsrNode {
                 self.discover_timer_armed = true;
                 ctx.set_timer(self.config.discover_delay - now, TOKEN_DISCOVER);
             }
+            ctx.set_cause(prev);
             return;
         }
         if need_cw && !self.disc_cw_out {
@@ -677,6 +688,7 @@ impl SsrNode {
             self.discover_timer_armed = true;
             ctx.set_timer(self.config.discover_retry, TOKEN_DISCOVER);
         }
+        ctx.set_cause(prev);
     }
 
     /// A discovery probe is at this virtual node: forward it greedily along
@@ -998,6 +1010,7 @@ impl SsrNode {
             ctx.metrics().incr("probe.delivered");
             return;
         }
+        let prev = ctx.set_cause(CauseClass::Routing);
         match self.cache.best_toward(target) {
             Some((_, route)) => {
                 let route = route.clone();
@@ -1011,6 +1024,7 @@ impl SsrNode {
                 ctx.metrics().incr("probe.stuck");
             }
         }
+        ctx.set_cause(prev);
     }
 
     /// Handles a link-local hello: learn the neighbor, adopt it as a
@@ -1057,6 +1071,7 @@ impl SsrNode {
         if unidentified.is_empty() || self.hello_round >= self.config.hello_retries {
             return;
         }
+        let prev = ctx.set_cause(CauseClass::HelloSweep);
         for idx in unidentified {
             ctx.send(
                 idx,
@@ -1071,6 +1086,7 @@ impl SsrNode {
             self.config.hello_retry_interval << self.hello_round,
             TOKEN_HELLO,
         );
+        ctx.set_cause(prev);
     }
 }
 

@@ -1,10 +1,12 @@
-//! The `obs` CLI: summarize a manifest, diff two manifests, or
-//! pretty-print/filter a JSONL trace.
+//! The `obs` CLI: summarize a manifest, diff two manifests,
+//! pretty-print/filter a JSONL trace, or profile causal provenance
+//! (`flame`, `top`, `causes` — see docs/PROFILING.md).
 
 use std::process::ExitCode;
 
 use ssr_obs::report::{
-    diff, diff_perf, format_trace_line, is_perf_baseline, summarize, TraceFilter,
+    causes, diff, diff_perf, flame, format_trace_line, is_perf_baseline, summarize, top,
+    TraceFilter,
 };
 use ssr_obs::{parse, Value};
 
@@ -13,17 +15,27 @@ usage:
   obs summarize <manifest.json>
   obs diff <a.manifest.json> <b.manifest.json>
   obs diff <a.BENCH_perf.json> <b.BENCH_perf.json> [--threshold PCT]
-  obs trace <trace.jsonl> [--ev KIND] [--node N] [--since T] [--until T]
+  obs trace <trace.jsonl> [--ev EV] [--kind KIND] [--node N] [--since T] [--until T]
+  obs causes <trace.jsonl> <event-id> [--ev EV] [--kind KIND] [--node N] ...
+  obs flame <manifest.json>
+  obs top <manifest.json> [--limit N]
 
 subcommands:
   summarize   one-screen view of a run manifest (counters, histogram
               percentiles, condensed convergence timeline)
   diff        counter deltas, histogram percentile shifts, and
               convergence-time regressions between two manifests; when
-              both files are ssr-bench-perf/1 baselines (exp_perf output),
-              compares per-scenario timing and work counters instead and
-              exits non-zero on regressions beyond --threshold (default 10)
+              both files are perf baselines (exp_perf output, any
+              ssr-bench-perf schema), compares per-scenario timing and
+              work counters instead and exits non-zero on regressions
+              beyond --threshold (default 10)
   trace       human-readable, filterable view of a JSONL trace file
+  causes      walk the causal chain of one trace event (by pid) from its
+              bootstrap/fault root; shares the trace filter flags
+  flame       folded stacks (cause;kind;depth count) from a manifest's
+              provenance section, ready for flamegraph.pl / inferno
+  top         rank cause classes, message kinds, and hot nodes by
+              delivered/sent/wasted messages
 ";
 
 fn main() -> ExitCode {
@@ -80,8 +92,43 @@ fn run(args: &[String]) -> Result<(String, bool), String> {
             let filter = trace_filter(&args[2..])?;
             Ok((trace_report(path, &filter)?, true))
         }
+        Some("causes") => {
+            let path = args.get(1).ok_or("causes needs a JSONL path")?;
+            let pid = args
+                .get(2)
+                .ok_or("causes needs an event id (the pid from obs trace)")?;
+            let pid: u64 = pid.parse().map_err(|e| format!("event id {pid}: {e}"))?;
+            let filter = trace_filter(&args[3..])?;
+            let records = load_jsonl(path)?;
+            Ok((causes(&records, pid, &filter)?, true))
+        }
+        Some("flame") => {
+            let path = args.get(1).ok_or("flame needs a manifest path")?;
+            Ok((flame(&load_json(path)?)?, true))
+        }
+        Some("top") => {
+            let path = args.get(1).ok_or("top needs a manifest path")?;
+            let limit = top_limit(&args[2..])?;
+            Ok((top(&load_json(path)?, limit)?, true))
+        }
         Some(other) => Err(format!("unknown subcommand '{other}'")),
         None => Err("no subcommand".to_string()),
+    }
+}
+
+/// Parses the optional `--limit N` tail of `obs top` (default 10).
+fn top_limit(rest: &[String]) -> Result<usize, String> {
+    match rest.first().map(String::as_str) {
+        None => Ok(10),
+        Some("--limit") => {
+            let v = rest.get(1).ok_or("--limit needs a value")?;
+            let n: usize = v.parse().map_err(|e| format!("--limit {v}: {e}"))?;
+            if n == 0 {
+                return Err("--limit must be at least 1".into());
+            }
+            Ok(n)
+        }
+        Some(other) => Err(format!("unknown flag '{other}'")),
     }
 }
 
@@ -106,6 +153,16 @@ fn load_json(path: &str) -> Result<Value, String> {
     parse(&text).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Loads a JSONL trace as one record per non-empty line.
+fn load_jsonl(path: &str) -> Result<Vec<Value>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(lineno, l)| parse(l).map_err(|e| format!("{path}:{}: {e}", lineno + 1)))
+        .collect()
+}
+
 fn trace_filter(rest: &[String]) -> Result<TraceFilter, String> {
     let mut filter = TraceFilter::default();
     let mut i = 0;
@@ -117,6 +174,7 @@ fn trace_filter(rest: &[String]) -> Result<TraceFilter, String> {
         let parse_u64 = |v: &String| v.parse::<u64>().map_err(|e| format!("{flag} {v}: {e}"));
         match flag {
             "--ev" => filter.ev = Some(value.clone()),
+            "--kind" => filter.kind = Some(value.clone()),
             "--node" => filter.node = Some(parse_u64(value)?),
             "--since" => filter.since = Some(parse_u64(value)?),
             "--until" => filter.until = Some(parse_u64(value)?),
@@ -165,6 +223,8 @@ mod tests {
         let f = trace_filter(&[
             "--ev".into(),
             "send".into(),
+            "--kind".into(),
+            "notify".into(),
             "--node".into(),
             "3".into(),
             "--since".into(),
@@ -174,11 +234,16 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(f.ev.as_deref(), Some("send"));
+        assert_eq!(f.kind.as_deref(), Some("notify"));
         assert_eq!(f.node, Some(3));
         assert_eq!(f.since, Some(10));
         assert_eq!(f.until, Some(20));
         assert!(trace_filter(&["--ev".into()]).is_err());
         assert!(trace_filter(&["--wat".into(), "1".into()]).is_err());
+        assert_eq!(top_limit(&[]).unwrap(), 10);
+        assert_eq!(top_limit(&["--limit".into(), "3".into()]).unwrap(), 3);
+        assert!(top_limit(&["--limit".into(), "0".into()]).is_err());
+        assert!(top_limit(&["--wat".into()]).is_err());
     }
 
     #[test]
@@ -227,6 +292,49 @@ mod tests {
             "5".into(),
         ])
         .is_err());
+    }
+
+    #[test]
+    fn provenance_subcommands_over_files() {
+        let dir = std::env::temp_dir().join("ssr_obs_cli_prov_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // a two-link trace with provenance fields
+        let trace_path = dir.join("t.jsonl");
+        std::fs::write(
+            &trace_path,
+            "{\"ev\":\"send\",\"at\":0,\"from\":0,\"to\":1,\"kind\":\"hello\",\
+             \"pid\":1,\"depth\":0,\"cause\":\"bootstrap\"}\n\
+             {\"ev\":\"deliver\",\"at\":2,\"from\":0,\"to\":1,\"kind\":\"hello\",\
+             \"pid\":1,\"depth\":0,\"cause\":\"bootstrap\"}\n\
+             {\"ev\":\"send\",\"at\":2,\"from\":1,\"to\":2,\"kind\":\"notify\",\
+             \"pid\":2,\"parent\":1,\"depth\":1,\"cause\":\"linearization-step\"}\n",
+        )
+        .unwrap();
+        let (chain, ok) = run(&[
+            "causes".into(),
+            trace_path.display().to_string(),
+            "2".into(),
+        ])
+        .unwrap();
+        assert!(ok);
+        assert!(chain.contains("causal chain for event 2"), "{chain}");
+        assert!(chain.contains("kind=hello"), "{chain}");
+        assert!(run(&[
+            "causes".into(),
+            trace_path.display().to_string(),
+            "99".into(),
+        ])
+        .is_err());
+        assert!(run(&["causes".into(), trace_path.display().to_string()]).is_err());
+        // a manifest without provenance gives a friendly flame/top error
+        let man_path = dir.join("m.json");
+        ssr_obs::Manifest::new("cli_test")
+            .write_to(&man_path)
+            .unwrap();
+        let err = run(&["flame".into(), man_path.display().to_string()]).unwrap_err();
+        assert!(err.contains("no provenance section"), "{err}");
+        let err = run(&["top".into(), man_path.display().to_string()]).unwrap_err();
+        assert!(err.contains("no provenance section"), "{err}");
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use std::io;
 use std::path::{Path, PathBuf};
 
-use ssr_sim::Metrics;
+use ssr_sim::{Metrics, ProvenanceSummary};
 
 use crate::json::Value;
 
@@ -25,7 +25,13 @@ use crate::json::Value;
 /// `ssr-obs/2` added the optional `chaos` array: one entry per chaos
 /// scenario run, carrying the watchdog verdict and the recovery cost
 /// measured from the end of the fault window (see README §Observability).
-pub const SCHEMA: &str = "ssr-obs/2";
+///
+/// `ssr-obs/3` added the optional `provenance` object: the causal-ledger
+/// snapshot ([`Manifest::record_provenance`]) with per-cause × per-kind
+/// message attribution, flame cells, depth histograms, cascade sizes and
+/// per-node tallies (see docs/PROFILING.md). `obs flame` and `obs top`
+/// read this section.
+pub const SCHEMA: &str = "ssr-obs/3";
 
 /// One chaos-scenario outcome as recorded in a manifest (`chaos` array,
 /// schema `ssr-obs/2`).
@@ -86,6 +92,7 @@ pub struct Manifest {
     series: Vec<Value>,
     timeline: Vec<TimelinePoint>,
     chaos: Vec<ChaosScenario>,
+    provenance: Option<Value>,
     extra: Vec<(String, Value)>,
 }
 
@@ -204,6 +211,17 @@ impl Manifest {
         self.chaos.len()
     }
 
+    /// Records a causal-ledger snapshot (`provenance` object, `ssr-obs/3`).
+    ///
+    /// Call once with the final — or merged-across-scenarios — summary;
+    /// `obs flame` and `obs top` consume this section. Per-node tallies
+    /// serialize as compact `[sent, received, wasted]` triples indexed by
+    /// node to keep large-n manifests readable.
+    pub fn record_provenance(&mut self, summary: &ProvenanceSummary) -> &mut Self {
+        self.provenance = Some(provenance_to_value(summary));
+        self
+    }
+
     /// The manifest as a JSON value (fixed field order).
     pub fn to_value(&self) -> Value {
         let mut fields: Vec<(String, Value)> = vec![
@@ -282,6 +300,9 @@ impl Manifest {
                 ),
             ));
         }
+        if let Some(prov) = &self.provenance {
+            fields.push(("provenance".into(), prov.clone()));
+        }
         if !self.extra.is_empty() {
             fields.push(("extra".into(), Value::Obj(self.extra.clone())));
         }
@@ -309,6 +330,74 @@ impl Manifest {
         self.write_to(&path)?;
         Ok(path)
     }
+}
+
+fn provenance_to_value(summary: &ProvenanceSummary) -> Value {
+    Value::Obj(vec![
+        ("roots".into(), summary.roots.into()),
+        ("sent".into(), summary.sent().into()),
+        ("delivered".into(), summary.delivered().into()),
+        ("wasted".into(), summary.wasted().into()),
+        (
+            "messages".into(),
+            Value::Arr(
+                summary
+                    .messages
+                    .iter()
+                    .map(|(&(cause, kind), stats)| {
+                        Value::Obj(vec![
+                            ("cause".into(), cause.into()),
+                            ("kind".into(), kind.into()),
+                            ("sent".into(), stats.sent.into()),
+                            ("delivered".into(), stats.delivered.into()),
+                            ("wasted".into(), stats.wasted.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "flame".into(),
+            Value::Arr(
+                summary
+                    .flame
+                    .iter()
+                    .map(|(&(cause, kind, depth), &count)| {
+                        Value::Obj(vec![
+                            ("cause".into(), cause.into()),
+                            ("kind".into(), kind.into()),
+                            ("depth".into(), depth.into()),
+                            ("delivered".into(), count.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "depth".into(),
+            Value::Obj(
+                summary
+                    .depth
+                    .iter()
+                    .map(|(&cause, hist)| (cause.to_string(), hist_to_value(hist)))
+                    .collect(),
+            ),
+        ),
+        (
+            "cascade_sizes".into(),
+            hist_to_value(&summary.cascade_sizes),
+        ),
+        (
+            "nodes".into(),
+            Value::Arr(
+                summary
+                    .nodes
+                    .iter()
+                    .map(|t| Value::Arr(vec![t.sent.into(), t.received.into(), t.wasted.into()]))
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 fn hist_to_value(h: &ssr_sim::Histogram) -> Value {
@@ -442,7 +531,7 @@ mod tests {
         });
         assert_eq!(man.chaos_len(), 1);
         let v = parse(&man.to_json()).unwrap();
-        assert_eq!(v.get("schema").unwrap().as_str(), Some("ssr-obs/2"));
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("ssr-obs/3"));
         let chaos = v.get("chaos").unwrap().as_arr().unwrap();
         assert_eq!(chaos.len(), 1);
         assert_eq!(chaos[0].get("name").unwrap().as_str(), Some("partition"));
@@ -452,6 +541,62 @@ mod tests {
         // manifests without scenarios carry no chaos field at all
         let plain = parse(&Manifest::new("exp_x").to_json()).unwrap();
         assert!(plain.get("chaos").is_none());
+    }
+
+    #[test]
+    fn provenance_section_round_trips() {
+        use ssr_sim::{KindStats, NodeTally};
+        let mut summary = ProvenanceSummary {
+            roots: 2,
+            ..Default::default()
+        };
+        summary.messages.insert(
+            ("bootstrap", "hello"),
+            KindStats {
+                sent: 9,
+                delivered: 7,
+                wasted: 3,
+            },
+        );
+        summary.flame.insert(("bootstrap", "hello", 1), 7);
+        summary.cascade_sizes.observe(4);
+        summary.nodes = vec![
+            NodeTally {
+                sent: 9,
+                received: 0,
+                wasted: 0,
+            },
+            NodeTally {
+                sent: 0,
+                received: 7,
+                wasted: 3,
+            },
+        ];
+        let mut man = Manifest::new("exp_test");
+        man.record_provenance(&summary);
+        let v = parse(&man.to_json()).unwrap();
+        let prov = v.get("provenance").unwrap();
+        assert_eq!(prov.get("roots").unwrap().as_u64(), Some(2));
+        assert_eq!(prov.get("sent").unwrap().as_u64(), Some(9));
+        assert_eq!(prov.get("delivered").unwrap().as_u64(), Some(7));
+        assert_eq!(prov.get("wasted").unwrap().as_u64(), Some(3));
+        let messages = prov.get("messages").unwrap().as_arr().unwrap();
+        assert_eq!(messages.len(), 1);
+        assert_eq!(
+            messages[0].get("cause").unwrap().as_str(),
+            Some("bootstrap")
+        );
+        assert_eq!(messages[0].get("kind").unwrap().as_str(), Some("hello"));
+        assert_eq!(messages[0].get("sent").unwrap().as_u64(), Some(9));
+        let flame = prov.get("flame").unwrap().as_arr().unwrap();
+        assert_eq!(flame[0].get("depth").unwrap().as_u64(), Some(1));
+        assert_eq!(flame[0].get("delivered").unwrap().as_u64(), Some(7));
+        let nodes = prov.get("nodes").unwrap().as_arr().unwrap();
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[1].as_arr().unwrap()[1].as_u64(), Some(7));
+        // manifests without a ledger carry no provenance field at all
+        let plain = parse(&Manifest::new("exp_x").to_json()).unwrap();
+        assert!(plain.get("provenance").is_none());
     }
 
     #[test]

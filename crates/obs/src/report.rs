@@ -348,23 +348,40 @@ pub fn diff(a: &Value, b: &Value) -> String {
 }
 
 /// Schema tag of a `BENCH_perf.json` perf baseline (written by `exp_perf`).
-pub const PERF_SCHEMA: &str = "ssr-bench-perf/1";
+///
+/// `ssr-bench-perf/2` added the per-scenario message breakdown
+/// (`messages_by_cause`, `messages_by_kind`, `wasted`, `wasted_per_mille`)
+/// measured by a separate instrumented run; timing repeats stay
+/// uninstrumented.
+pub const PERF_SCHEMA: &str = "ssr-bench-perf/2";
+
+/// Every perf-baseline schema `obs diff` can read. Diffing a `/1` baseline
+/// against a `/2` one is supported: fields present on only one side are
+/// reported as schema growth, not drift.
+pub const PERF_SCHEMAS: [&str; 2] = ["ssr-bench-perf/1", "ssr-bench-perf/2"];
 
 /// `true` when a parsed JSON document is a perf baseline rather than a run
 /// manifest — `obs diff` dispatches on this.
 pub fn is_perf_baseline(v: &Value) -> bool {
-    v.get("schema").and_then(|s| s.as_str()) == Some(PERF_SCHEMA)
+    v.get("schema")
+        .and_then(|s| s.as_str())
+        .is_some_and(|s| PERF_SCHEMAS.contains(&s))
 }
 
 /// Diff of two `BENCH_perf.json` perf baselines, per scenario name.
 ///
-/// * `ns_per_op` / `wall_ns` are wall-clock: a change is flagged as a
-///   regression only when B is slower than A by more than `threshold_pct`
-///   percent (noise below the threshold is shown but not flagged).
-/// * `ticks`, `ops`, `messages_delivered`, `node_activations`, and
-///   `peak_queue_depth` are deterministic for a given seed: *any* change
-///   is reported (it is a behavior change, not noise), and increases
-///   beyond the threshold are flagged.
+/// * `ns_per_op` is wall-clock: a change is flagged as a regression only
+///   when B is slower than A by more than `threshold_pct` percent (noise
+///   below the threshold is shown but not flagged). `wall_ns` is
+///   `ns_per_op * ops` and is skipped as redundant.
+/// * every other numeric scenario field (`ticks`, `ops`,
+///   `messages_delivered`, `node_activations`, `peak_queue_depth`,
+///   `wasted`, `wasted_per_mille`, …) is deterministic for a given seed:
+///   *any* change is reported (it is a behavior change, not noise), and
+///   increases beyond the threshold are flagged.
+/// * a numeric field present in only one baseline is **schema growth**
+///   (e.g. diffing an `ssr-bench-perf/1` baseline against a `/2` one):
+///   reported informationally, never flagged as a regression.
 ///
 /// Returns the report and whether any regression was flagged — the CLI
 /// exits non-zero on `true`, which is what makes `obs diff old new
@@ -420,27 +437,60 @@ pub fn diff_perf(a: &Value, b: &Value, threshold_pct: f64) -> (String, bool) {
                 }
             }
         }
-        // deterministic work ledger: any drift is a behavior change
-        for key in [
-            "ticks",
-            "ops",
-            "messages_delivered",
-            "node_activations",
-            "peak_queue_depth",
-        ] {
-            let x = num(ea, key).unwrap_or(0.0);
-            let y = num(eb, key).unwrap_or(0.0);
-            if x != y {
-                let flag = if x > 0.0 && (y - x) * 100.0 / x > threshold_pct {
-                    regressions += 1;
-                    "  ** regression **"
-                } else {
-                    ""
-                };
-                lines.push(format!(
-                    "{key} {} -> {}  (behavior change){flag}",
-                    x as u64, y as u64
-                ));
+        // deterministic work ledger: any drift is a behavior change; a key
+        // on only one side is schema growth/shrink, reported but never
+        // flagged (a /1-vs-/2 diff must stay usable as a perf gate)
+        let numeric_keys = |s: &Value| -> Vec<String> {
+            s.as_obj()
+                .map(|o| {
+                    o.iter()
+                        .filter(|(k, v)| {
+                            // wall_ns is ns_per_op * ops — wall-clock, already
+                            // covered by the threshold-gated ns_per_op line
+                            v.as_f64().is_some()
+                                && k != "name"
+                                && k != "ns_per_op"
+                                && k != "wall_ns"
+                        })
+                        .map(|(k, _)| k.clone())
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let mut keys = numeric_keys(ea);
+        for k in numeric_keys(eb) {
+            if !keys.contains(&k) {
+                keys.push(k);
+            }
+        }
+        keys.sort();
+        for key in &keys {
+            match (num(ea, key), num(eb, key)) {
+                (Some(x), Some(y)) if x != y => {
+                    let flag = if x > 0.0 && (y - x) * 100.0 / x > threshold_pct {
+                        regressions += 1;
+                        "  ** regression **"
+                    } else {
+                        ""
+                    };
+                    lines.push(format!(
+                        "{key} {} -> {}  (behavior change){flag}",
+                        x as u64, y as u64
+                    ));
+                }
+                (Some(x), None) => {
+                    lines.push(format!(
+                        "{key} {} -> absent  (schema change, informational)",
+                        x as u64
+                    ));
+                }
+                (None, Some(y)) => {
+                    lines.push(format!(
+                        "{key} absent -> {}  (schema growth, informational)",
+                        y as u64
+                    ));
+                }
+                _ => {}
             }
         }
         if !lines.is_empty() {
@@ -483,6 +533,8 @@ fn delta(a: u64, b: u64) -> String {
 pub struct TraceFilter {
     /// Keep only records with this `ev` (e.g. `send`).
     pub ev: Option<String>,
+    /// Keep only records with this message `kind` (e.g. `notify`).
+    pub kind: Option<String>,
     /// Keep only records touching this node (as `from`, `to`, or `node`).
     pub node: Option<u64>,
     /// Keep only records at `at >= since`.
@@ -496,6 +548,11 @@ impl TraceFilter {
     pub fn matches(&self, rec: &Value) -> bool {
         if let Some(want) = &self.ev {
             if rec.get("ev").and_then(|e| e.as_str()) != Some(want.as_str()) {
+                return false;
+            }
+        }
+        if let Some(want) = &self.kind {
+            if rec.get("kind").and_then(|k| k.as_str()) != Some(want.as_str()) {
                 return false;
             }
         }
@@ -533,24 +590,245 @@ pub fn format_trace_line(rec: &Value) -> String {
             .unwrap_or("")
             .to_string()
     };
+    // provenance tail (ssr-obs/3 traces); absent on pre-provenance traces
+    let prov = match rec.get("pid").and_then(|v| v.as_u64()) {
+        Some(pid) => format!(
+            "  pid={pid} depth={} cause={}",
+            num("depth"),
+            rec.get("cause").and_then(|v| v.as_str()).unwrap_or("?")
+        ),
+        None => String::new(),
+    };
     match ev {
         "send" | "deliver" => format!(
-            "[{at:>8}] {ev:<8} {:>4} -> {:<4} kind={}",
+            "[{at:>8}] {ev:<8} {:>4} -> {:<4} kind={}{prov}",
             num("from"),
             num("to"),
             text("kind")
         ),
         "lost" => format!(
-            "[{at:>8}] {ev:<8} {:>4} -> {:<4} reason={}",
+            "[{at:>8}] {ev:<8} {:>4} -> {:<4} reason={}{prov}",
             num("from"),
             num("to"),
             text("reason")
         ),
-        "fault" => format!("[{at:>8}] {ev:<8} {}", text("desc")),
+        "timer" => format!(
+            "[{at:>8}] {ev:<8} node {} token={}{prov}",
+            num("node"),
+            num("token")
+        ),
+        "fault" => format!("[{at:>8}] {ev:<8} {}{prov}", text("desc")),
         "note" => format!("[{at:>8}] {ev:<8} node {}: {}", num("node"), text("text")),
         "diag" => format!("[{at:>8}] {ev:<8} {}: {}", text("source"), text("text")),
         other => format!("[{at:>8}] {other} {}", rec.to_json()),
     }
+}
+
+/// Renders the `provenance.flame` cells of an `ssr-obs/3` manifest as
+/// folded stacks — `cause;kind;depth-frame count`, one line per cell —
+/// which `flamegraph.pl` consumes unmodified.
+///
+/// Depth frames name the log₂ bucket the delivery's causal depth fell
+/// into: `depth:0`, `depth:1`, `depth:2-3`, `depth:4-7`, …
+pub fn flame(manifest: &Value) -> Result<String, String> {
+    let prov = provenance_section(manifest)?;
+    let cells = prov
+        .get("flame")
+        .and_then(|f| f.as_arr())
+        .ok_or_else(|| "provenance section has no flame cells".to_string())?;
+    let mut out = String::new();
+    for c in cells {
+        let cause = c.get("cause").and_then(|v| v.as_str()).unwrap_or("?");
+        let kind = c.get("kind").and_then(|v| v.as_str()).unwrap_or("?");
+        let lo = c.get("depth").and_then(|v| v.as_u64()).unwrap_or(0);
+        let count = c.get("delivered").and_then(|v| v.as_u64()).unwrap_or(0);
+        let _ = writeln!(out, "{cause};{kind};{} {count}", depth_frame(lo));
+    }
+    Ok(out)
+}
+
+/// Human-readable name of the log₂ depth bucket whose lower bound is `lo`.
+fn depth_frame(lo: u64) -> String {
+    match lo {
+        0 | 1 => format!("depth:{lo}"),
+        _ => format!("depth:{lo}-{}", 2 * lo - 1),
+    }
+}
+
+/// The `provenance` object of a manifest, or a friendly error telling the
+/// user how to produce one.
+fn provenance_section(manifest: &Value) -> Result<&Value, String> {
+    manifest.get("provenance").ok_or_else(|| {
+        "manifest has no provenance section (ssr-obs/3): re-run the \
+         experiment — exp_chaos records it by default"
+            .to_string()
+    })
+}
+
+/// Cost-attribution ranking over a manifest's `provenance` section: total
+/// attribution vs `rx.total`, wasted-work ratio, per-cause and per-kind
+/// tables, and the hottest nodes by traffic.
+pub fn top(manifest: &Value, limit: usize) -> Result<String, String> {
+    let prov = provenance_section(manifest)?;
+    let num = |v: &Value, k: &str| v.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+    let delivered = num(prov, "delivered");
+    let wasted = num(prov, "wasted");
+    let rx_total = manifest
+        .get("counters")
+        .and_then(|c| c.get("rx.total"))
+        .and_then(|v| v.as_u64());
+
+    let mut out = String::new();
+    // the acceptance gate: how much of the run's delivered traffic the
+    // ledger attributed to a cause class
+    match rx_total {
+        Some(total) if total > 0 => {
+            let pct = delivered as f64 * 100.0 / total as f64;
+            let _ = writeln!(
+                out,
+                "attributed: {delivered}/{total} deliveries ({pct:.1}%)"
+            );
+        }
+        _ => {
+            let _ = writeln!(out, "attributed: {delivered} deliveries");
+        }
+    }
+    if delivered > 0 {
+        let _ = writeln!(
+            out,
+            "wasted work: {wasted}/{delivered} deliveries ({:.1}%)",
+            wasted as f64 * 100.0 / delivered as f64
+        );
+    }
+
+    let cells = prov
+        .get("messages")
+        .and_then(|m| m.as_arr())
+        .ok_or_else(|| "provenance section has no messages cells".to_string())?;
+    let mut by_cause: Vec<(String, [u64; 3])> = Vec::new();
+    let mut by_kind: Vec<(String, [u64; 3])> = Vec::new();
+    for c in cells {
+        let stats = [num(c, "delivered"), num(c, "sent"), num(c, "wasted")];
+        for (axis, key) in [(&mut by_cause, "cause"), (&mut by_kind, "kind")] {
+            let name = c.get(key).and_then(|v| v.as_str()).unwrap_or("?");
+            match axis.iter_mut().find(|(n, _)| n == name) {
+                Some((_, acc)) => {
+                    for (a, s) in acc.iter_mut().zip(stats) {
+                        *a += s;
+                    }
+                }
+                None => axis.push((name.to_string(), stats)),
+            }
+        }
+    }
+    for (title, mut rows) in [("cause class", by_cause), ("message kind", by_kind)] {
+        rows.sort_by(|a, b| b.1[0].cmp(&a.1[0]).then_with(|| a.0.cmp(&b.0)));
+        let _ = writeln!(out, "\nby {title}:");
+        let _ = writeln!(
+            out,
+            "  {:<22} {:>10} {:>10} {:>10}",
+            "", "delivered", "sent", "wasted"
+        );
+        for (name, [d, s, w]) in rows.iter().take(limit) {
+            let _ = writeln!(out, "  {name:<22} {d:>10} {s:>10} {w:>10}");
+        }
+    }
+
+    if let Some(nodes) = prov.get("nodes").and_then(|n| n.as_arr()) {
+        let mut rows: Vec<(usize, u64, u64, u64)> = nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| {
+                let t = t.as_arr()?;
+                let get = |j: usize| t.get(j).and_then(|v| v.as_u64()).unwrap_or(0);
+                Some((i, get(0), get(1), get(2)))
+            })
+            .filter(|&(_, s, r, _)| s + r > 0)
+            .collect();
+        rows.sort_by(|a, b| (b.1 + b.2).cmp(&(a.1 + a.2)).then_with(|| a.0.cmp(&b.0)));
+        let _ = writeln!(
+            out,
+            "\nhot nodes (top {} of {} by traffic):",
+            limit.min(rows.len()),
+            nodes.len()
+        );
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>6} {:>10} {:>10}",
+            "node", "sent", "received", "wasted"
+        );
+        for (i, s, r, w) in rows.iter().take(limit) {
+            let _ = writeln!(out, "  {i:<10} {s:>6} {r:>10} {w:>10}");
+        }
+    }
+    Ok(out)
+}
+
+/// Walks the causal chain of trace event `pid` — root first — and renders
+/// every trace record each lineage link produced.
+///
+/// A pid names one queued event; its `send` and matching `deliver` (or
+/// `lost`) records share it. The `filter` (shared with `obs trace`)
+/// restricts which records print per link — the walk itself always uses
+/// the full trace, and a fully filtered-out link keeps a placeholder line
+/// so the chain stays connected. A missing link (e.g. a truncated trace)
+/// ends the walk with a note instead of an error.
+pub fn causes(records: &[Value], pid: u64, filter: &TraceFilter) -> Result<String, String> {
+    let find = |id: u64| -> Vec<&Value> {
+        records
+            .iter()
+            .filter(|r| r.get("pid").and_then(|v| v.as_u64()) == Some(id))
+            .collect()
+    };
+    if find(pid).is_empty() {
+        return Err(format!("no trace record carries pid {pid}"));
+    }
+    let mut chain = vec![pid];
+    let mut truncated = false;
+    let mut cur = pid;
+    loop {
+        let recs = find(cur);
+        let Some(parent) = recs
+            .iter()
+            .find_map(|r| r.get("parent").and_then(|v| v.as_u64()))
+        else {
+            // no parent field: `cur` is a root (or the trace lacks provenance)
+            break;
+        };
+        if find(parent).is_empty() {
+            truncated = true;
+            chain.push(parent);
+            break;
+        }
+        if chain.contains(&parent) {
+            return Err(format!("provenance cycle at pid {parent} — corrupt trace"));
+        }
+        chain.push(parent);
+        cur = parent;
+    }
+    chain.reverse();
+    let mut out = String::new();
+    let _ = writeln!(out, "causal chain for event {pid} ({} links):", chain.len());
+    for (hop, id) in chain.iter().enumerate() {
+        let indent = "  ".repeat(hop + 1);
+        let recs = find(*id);
+        if recs.is_empty() {
+            let _ = writeln!(out, "{indent}pid {id}: not in trace (truncated?)");
+            continue;
+        }
+        let shown: Vec<&&Value> = recs.iter().filter(|r| filter.matches(r)).collect();
+        if shown.is_empty() {
+            let _ = writeln!(out, "{indent}pid {id}: ({} record(s) filtered)", recs.len());
+            continue;
+        }
+        for rec in shown {
+            let _ = writeln!(out, "{indent}{}", format_trace_line(rec));
+        }
+    }
+    if truncated {
+        let _ = writeln!(out, "(chain truncated: a parent is missing from the trace)");
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -730,6 +1008,209 @@ mod tests {
         let (report, _) = diff_perf(&a, &b, 10.0);
         assert!(report.contains("convergence_n100: only in A"), "{report}");
         assert!(report.contains("routing_n500: only in B"), "{report}");
+    }
+
+    #[test]
+    fn perf_diff_treats_mixed_schemas_as_growth_not_drift() {
+        // a /1 baseline (no breakdown fields) against a /2 one that adds
+        // wasted/wasted_per_mille: informational, never a regression
+        let a = perf_baseline("old", 1000.0, 500);
+        let b = parse(
+            "{\"schema\":\"ssr-bench-perf/2\",\"git\":\"new\",\"seed\":1,\
+             \"scenarios\":[{\"name\":\"convergence_n100\",\"ops\":3,\
+             \"ns_per_op\":1000.0,\"ticks\":88,\
+             \"messages_delivered\":500,\"node_activations\":9622,\
+             \"peak_queue_depth\":648,\"wasted\":120,\"wasted_per_mille\":240}]}",
+        )
+        .unwrap();
+        assert!(is_perf_baseline(&b));
+        let (report, failed) = diff_perf(&a, &b, 10.0);
+        assert!(!failed, "{report}");
+        assert!(
+            report.contains("wasted absent -> 120  (schema growth, informational)"),
+            "{report}"
+        );
+        assert!(
+            report.contains("wasted_per_mille absent -> 240"),
+            "{report}"
+        );
+        assert!(!report.contains("behavior change"), "{report}");
+        // the reverse direction reports a schema change, also unflagged
+        let (report, failed) = diff_perf(&b, &a, 10.0);
+        assert!(!failed, "{report}");
+        assert!(
+            report.contains("wasted 120 -> absent  (schema change, informational)"),
+            "{report}"
+        );
+    }
+
+    fn provenance_manifest() -> Value {
+        use ssr_sim::{KindStats, NodeTally, ProvenanceSummary};
+        let mut s = ProvenanceSummary {
+            roots: 1,
+            ..Default::default()
+        };
+        s.messages.insert(
+            ("bootstrap", "hello"),
+            KindStats {
+                sent: 1,
+                delivered: 1,
+                wasted: 0,
+            },
+        );
+        s.messages.insert(
+            ("linearization-step", "notify"),
+            KindStats {
+                sent: 3,
+                delivered: 3,
+                wasted: 1,
+            },
+        );
+        s.flame.insert(("bootstrap", "hello", 1), 1);
+        s.flame.insert(("linearization-step", "notify", 4), 3);
+        s.cascade_sizes.observe(4);
+        s.nodes = vec![
+            NodeTally {
+                sent: 1,
+                received: 0,
+                wasted: 0,
+            },
+            NodeTally {
+                sent: 3,
+                received: 1,
+                wasted: 0,
+            },
+            NodeTally {
+                sent: 0,
+                received: 3,
+                wasted: 1,
+            },
+        ];
+        let mut metrics = ssr_sim::Metrics::new();
+        metrics.add("rx.total", 4);
+        let mut man = Manifest::new("exp_test");
+        man.record_metrics(&metrics).record_provenance(&s);
+        parse(&man.to_json()).unwrap()
+    }
+
+    #[test]
+    fn flame_emits_folded_stacks() {
+        let m = provenance_manifest();
+        let folded = flame(&m).unwrap();
+        // one line per (cause, kind, depth-bucket) cell, flamegraph format
+        assert!(folded.contains("bootstrap;hello;depth:1 1\n"), "{folded}");
+        assert!(
+            folded.contains("linearization-step;notify;depth:4-7 3\n"),
+            "{folded}"
+        );
+        for line in folded.lines() {
+            let (stack, count) = line.rsplit_once(' ').unwrap();
+            assert_eq!(stack.split(';').count(), 3, "{line}");
+            count.parse::<u64>().unwrap();
+        }
+        // manifests without provenance produce a friendly error
+        let err = flame(&manifest_with(1, 500, 4, 64)).unwrap_err();
+        assert!(err.contains("no provenance section"), "{err}");
+    }
+
+    #[test]
+    fn top_ranks_and_attributes() {
+        let m = provenance_manifest();
+        let report = top(&m, 10).unwrap();
+        assert!(
+            report.contains("attributed: 4/4 deliveries (100.0%)"),
+            "{report}"
+        );
+        assert!(
+            report.contains("wasted work: 1/4 deliveries (25.0%)"),
+            "{report}"
+        );
+        assert!(report.contains("by cause class:"), "{report}");
+        assert!(report.contains("linearization-step"), "{report}");
+        assert!(report.contains("by message kind:"), "{report}");
+        assert!(report.contains("notify"), "{report}");
+        assert!(report.contains("hot nodes"), "{report}");
+        // linearization-step (3 delivered) ranks above bootstrap (1)
+        let lin = report.find("linearization-step").unwrap();
+        let boot = report.find("bootstrap").unwrap();
+        assert!(lin < boot, "{report}");
+    }
+
+    #[test]
+    fn causes_walks_the_lineage_to_the_root() {
+        let records: Vec<Value> = [
+            "{\"ev\":\"send\",\"at\":0,\"from\":0,\"to\":1,\"kind\":\"hello\",\
+             \"pid\":1,\"depth\":0,\"cause\":\"bootstrap\"}",
+            "{\"ev\":\"deliver\",\"at\":2,\"from\":0,\"to\":1,\"kind\":\"hello\",\
+             \"pid\":1,\"depth\":0,\"cause\":\"bootstrap\"}",
+            "{\"ev\":\"send\",\"at\":2,\"from\":1,\"to\":2,\"kind\":\"notify\",\
+             \"pid\":2,\"parent\":1,\"depth\":1,\"cause\":\"linearization-step\"}",
+            "{\"ev\":\"deliver\",\"at\":4,\"from\":1,\"to\":2,\"kind\":\"notify\",\
+             \"pid\":2,\"parent\":1,\"depth\":1,\"cause\":\"linearization-step\"}",
+        ]
+        .iter()
+        .map(|s| parse(s).unwrap())
+        .collect();
+        let all = TraceFilter::default();
+        let chain = causes(&records, 2, &all).unwrap();
+        assert!(
+            chain.contains("causal chain for event 2 (2 links):"),
+            "{chain}"
+        );
+        // root renders before the queried event
+        let hello = chain.find("kind=hello").unwrap();
+        let notify = chain.find("kind=notify").unwrap();
+        assert!(hello < notify, "{chain}");
+        assert!(chain.contains("cause=linearization-step"), "{chain}");
+        // a shared --ev filter narrows what prints without breaking the walk
+        let sends_only = TraceFilter {
+            ev: Some("deliver".into()),
+            ..Default::default()
+        };
+        let chain = causes(&records, 2, &sends_only).unwrap();
+        assert!(chain.contains("2 links"), "{chain}");
+        assert!(chain.contains("deliver"), "{chain}");
+        assert!(!chain.contains("send"), "{chain}");
+        // unknown pid is an error; missing parent is a truncation note
+        assert!(causes(&records, 99, &all).is_err());
+        let orphan = vec![parse(
+            "{\"ev\":\"send\",\"at\":9,\"from\":3,\"to\":4,\"kind\":\"x\",\
+             \"pid\":7,\"parent\":6,\"depth\":3,\"cause\":\"routing\"}",
+        )
+        .unwrap()];
+        let chain = causes(&orphan, 7, &all).unwrap();
+        assert!(chain.contains("truncated"), "{chain}");
+    }
+
+    #[test]
+    fn trace_filter_matches_kind() {
+        let rec =
+            parse("{\"ev\":\"send\",\"at\":12,\"from\":1,\"to\":2,\"kind\":\"notify\"}").unwrap();
+        assert!(TraceFilter {
+            kind: Some("notify".into()),
+            ..Default::default()
+        }
+        .matches(&rec));
+        assert!(!TraceFilter {
+            kind: Some("hello".into()),
+            ..Default::default()
+        }
+        .matches(&rec));
+        // records without a kind (timers, notes) never match a kind filter
+        let timer = parse(
+            "{\"ev\":\"timer\",\"at\":5,\"node\":3,\"token\":0,\"pid\":9,\"depth\":2,\
+                   \"cause\":\"hello-sweep\"}",
+        )
+        .unwrap();
+        assert!(!TraceFilter {
+            kind: Some("notify".into()),
+            ..Default::default()
+        }
+        .matches(&timer));
+        let line = format_trace_line(&timer);
+        assert!(line.contains("timer"), "{line}");
+        assert!(line.contains("node 3 token=0"), "{line}");
+        assert!(line.contains("pid=9 depth=2 cause=hello-sweep"), "{line}");
     }
 
     #[test]

@@ -26,8 +26,109 @@
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::num::NonZeroU64;
 
 use crate::time::Time;
+
+/// Why a causal cascade exists: the protocol phase that originated (or
+/// re-tagged) the lineage an event belongs to.
+///
+/// Protocol callbacks set the class via `Ctx::set_cause`; events queued
+/// without an explicit override inherit the class of the event being
+/// processed, so attribution flows along causal chains by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CauseClass {
+    /// Rooted at a node's `on_init` — initial startup traffic.
+    Bootstrap,
+    /// Rooted at an applied fault: crash/join/link/partition repair work.
+    FaultRepair,
+    /// The hello identification sweep re-probing unidentified links.
+    HelloSweep,
+    /// The linearization machinery: notify/ack handshakes, retries,
+    /// audits, and the teardowns they trigger.
+    LinearizationStep,
+    /// Data-plane greedy forwarding (routing probes).
+    Routing,
+}
+
+impl CauseClass {
+    /// Every cause class, in `Ord` order.
+    pub const ALL: [CauseClass; 5] = [
+        CauseClass::Bootstrap,
+        CauseClass::FaultRepair,
+        CauseClass::HelloSweep,
+        CauseClass::LinearizationStep,
+        CauseClass::Routing,
+    ];
+
+    /// Stable label used in traces, manifests and flame output.
+    pub fn label(self) -> &'static str {
+        match self {
+            CauseClass::Bootstrap => "bootstrap",
+            CauseClass::FaultRepair => "fault-repair",
+            CauseClass::HelloSweep => "hello-sweep",
+            CauseClass::LinearizationStep => "linearization-step",
+            CauseClass::Routing => "routing",
+        }
+    }
+}
+
+/// Causal provenance carried by every queued simulator event.
+///
+/// Ids are dense, start at 1, and are assigned at enqueue time from a
+/// single monotone counter, so two same-seed runs — on either queue
+/// backend — assign byte-identical ids: enqueue order is already part of
+/// the determinism contract. Message copies that are dropped by the link
+/// layer still consume an id, so `Send`/`Lost` trace records always
+/// carry one.
+///
+/// The queue itself carries only the 8-byte id; the rest of the stamp
+/// lives in the simulator's side table, which exists only when a trace
+/// sink or the causal ledger is attached — an uninstrumented run pays
+/// one counter increment per event and nothing else. The stamp is still
+/// kept small (`NonZeroU64` parent, `u32` depth, 32 bytes total with a
+/// niche for `Option<Provenance>`, pinned by the layout test below)
+/// because the instrumented path stores one per *pending* event and the
+/// dispatch frame copies it per step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Provenance {
+    /// Dense event id (enqueue order, starting at 1).
+    pub id: u64,
+    /// Id of the event being processed when this one was enqueued;
+    /// `None` for roots (bootstrap actions and scheduled faults).
+    pub parent: Option<NonZeroU64>,
+    /// Id of the root event of this cascade (`id` itself for roots).
+    pub root: u64,
+    /// Causal depth: 0 for roots, parent's depth + 1 otherwise.
+    pub depth: u32,
+    /// The cause class this lineage is attributed to.
+    pub cause: CauseClass,
+}
+
+impl Provenance {
+    /// A root event: its own cascade, at depth 0.
+    pub fn root(id: u64, cause: CauseClass) -> Self {
+        Provenance {
+            id,
+            parent: None,
+            root: id,
+            depth: 0,
+            cause,
+        }
+    }
+
+    /// A child of `parent`, one level deeper, attributed to `cause`.
+    pub fn child(parent: &Provenance, id: u64, cause: CauseClass) -> Self {
+        debug_assert!(parent.id != 0, "provenance ids start at 1");
+        Provenance {
+            id,
+            parent: NonZeroU64::new(parent.id),
+            root: parent.root,
+            depth: parent.depth + 1,
+            cause,
+        }
+    }
+}
 
 /// What happens when an event fires.
 #[derive(Clone, Debug)]
@@ -59,6 +160,10 @@ pub struct QueuedEvent<M> {
     pub at: Time,
     /// Payload.
     pub kind: EventKind<M>,
+    /// Dense provenance id assigned at enqueue time. The full
+    /// [`Provenance`] stamp is keyed by this id in the simulator's side
+    /// table when instrumentation is attached.
+    pub pid: u64,
 }
 
 /// Which scheduling structure backs an [`EventQueue`].
@@ -84,6 +189,7 @@ struct HeapEvent<M> {
     at: Time,
     seq: u64,
     kind: EventKind<M>,
+    pid: u64,
 }
 
 impl<M> PartialEq for HeapEvent<M> {
@@ -109,7 +215,7 @@ impl<M> PartialOrd for HeapEvent<M> {
 }
 
 enum Inner<M> {
-    Wheel(BTreeMap<u64, VecDeque<EventKind<M>>>),
+    Wheel(BTreeMap<u64, VecDeque<(EventKind<M>, u64)>>),
     Heap {
         heap: BinaryHeap<HeapEvent<M>>,
         next_seq: u64,
@@ -151,16 +257,16 @@ impl<M> EventQueue<M> {
         }
     }
 
-    /// Schedules `kind` at time `at`.
-    pub fn push(&mut self, at: Time, kind: EventKind<M>) {
+    /// Schedules `kind` at time `at`, carrying provenance id `pid`.
+    pub fn push(&mut self, at: Time, kind: EventKind<M>, pid: u64) {
         match &mut self.inner {
             Inner::Wheel(wheel) => {
-                wheel.entry(at.ticks()).or_default().push_back(kind);
+                wheel.entry(at.ticks()).or_default().push_back((kind, pid));
             }
             Inner::Heap { heap, next_seq } => {
                 let seq = *next_seq;
                 *next_seq += 1;
-                heap.push(HeapEvent { at, seq, kind });
+                heap.push(HeapEvent { at, seq, kind, pid });
             }
         }
         self.len += 1;
@@ -174,13 +280,14 @@ impl<M> EventQueue<M> {
                 let mut entry = wheel.first_entry()?;
                 let tick = *entry.key();
                 let bucket = entry.get_mut();
-                let kind = bucket.pop_front().expect("empty bucket left in wheel");
+                let (kind, pid) = bucket.pop_front().expect("empty bucket left in wheel");
                 if bucket.is_empty() {
                     entry.remove();
                 }
                 QueuedEvent {
                     at: Time(tick),
                     kind,
+                    pid,
                 }
             }
             Inner::Heap { heap, .. } => {
@@ -188,6 +295,7 @@ impl<M> EventQueue<M> {
                 QueuedEvent {
                     at: e.at,
                     kind: e.kind,
+                    pid: e.pid,
                 }
             }
         };
@@ -238,13 +346,25 @@ mod tests {
         [QueueBackend::TickWheel, QueueBackend::ReferenceHeap]
     }
 
+    /// The stamp rides on every queued event; growing it inflates the
+    /// whole wheel (and the uninstrumented perf baseline with it).
+    #[test]
+    fn provenance_stays_within_32_bytes() {
+        assert!(std::mem::size_of::<Provenance>() <= 32);
+        // the CauseClass niche keeps the frame Option free
+        assert_eq!(
+            std::mem::size_of::<Option<Provenance>>(),
+            std::mem::size_of::<Provenance>()
+        );
+    }
+
     #[test]
     fn earliest_first() {
         for backend in backends() {
             let mut q = EventQueue::with_backend(backend);
-            q.push(Time(5), timer(5));
-            q.push(Time(1), timer(1));
-            q.push(Time(3), timer(3));
+            q.push(Time(5), timer(5), 0);
+            q.push(Time(1), timer(1), 1);
+            q.push(Time(3), timer(3), 2);
             let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.0).collect();
             assert_eq!(order, vec![1, 3, 5], "{backend:?}");
         }
@@ -255,7 +375,7 @@ mod tests {
         for backend in backends() {
             let mut q = EventQueue::with_backend(backend);
             for node in 0..10 {
-                q.push(Time(7), timer(node));
+                q.push(Time(7), timer(node), node as u64);
             }
             let order: Vec<usize> = std::iter::from_fn(|| q.pop())
                 .map(|e| match e.kind {
@@ -274,8 +394,8 @@ mod tests {
             assert!(q.is_empty());
             assert_eq!(q.peek_time(), None);
             assert_eq!(q.next_tick(), None);
-            q.push(Time(2), timer(0));
-            q.push(Time(1), timer(1));
+            q.push(Time(2), timer(0), 0);
+            q.push(Time(1), timer(1), 1);
             assert_eq!(q.peek_time(), Some(Time(1)));
             assert_eq!(q.next_tick(), Some(1));
             assert_eq!(q.len(), 2);
@@ -286,14 +406,14 @@ mod tests {
     fn peak_depth_is_a_high_water_mark() {
         let mut q: EventQueue<()> = EventQueue::new();
         for i in 0..8 {
-            q.push(Time(i), timer(0));
+            q.push(Time(i), timer(0), i);
         }
         for _ in 0..8 {
             q.pop();
         }
         assert!(q.is_empty());
         assert_eq!(q.peak_len(), 8);
-        q.push(Time(100), timer(0));
+        q.push(Time(100), timer(0), 8);
         assert_eq!(q.peak_len(), 8, "peak must not reset");
     }
 
@@ -309,19 +429,19 @@ mod tests {
         let mut log_h = Vec::new();
         for round in 0..200u64 {
             let t = Time(rng.range(0, 50));
-            wheel.push(t, timer(round as usize));
-            heap.push(t, timer(round as usize));
+            wheel.push(t, timer(round as usize), round);
+            heap.push(t, timer(round as usize), round);
             if rng.chance(0.4) {
                 let (a, b) = (wheel.pop(), heap.pop());
                 if let (Some(a), Some(b)) = (&a, &b) {
-                    log_w.push((a.at.0, format!("{:?}", a.kind)));
-                    log_h.push((b.at.0, format!("{:?}", b.kind)));
+                    log_w.push((a.at.0, a.pid, format!("{:?}", a.kind)));
+                    log_h.push((b.at.0, b.pid, format!("{:?}", b.kind)));
                 }
             }
         }
         while let (Some(a), Some(b)) = (wheel.pop(), heap.pop()) {
-            log_w.push((a.at.0, format!("{:?}", a.kind)));
-            log_h.push((b.at.0, format!("{:?}", b.kind)));
+            log_w.push((a.at.0, a.pid, format!("{:?}", a.kind)));
+            log_h.push((b.at.0, b.pid, format!("{:?}", b.kind)));
         }
         assert!(wheel.is_empty() && heap.is_empty());
         assert_eq!(log_w, log_h);

@@ -19,7 +19,11 @@
 //!   mid-run ([`faults`]), which is how the churn experiment E8 and the
 //!   chaos experiment E11 exercise self-stabilization;
 //! * a generic freeze [`watchdog`] classifies livelock /
-//!   fixpoint-without-convergence instead of burning the tick budget.
+//!   fixpoint-without-convergence instead of burning the tick budget;
+//! * every event carries deterministic causal [`Provenance`], and an
+//!   opt-in [`CausalLedger`] ([`ledger`]) attributes message cost per
+//!   cause class and kind without perturbing the run
+//!   (see `docs/PROFILING.md`).
 //!
 //! Protocols implement the [`Protocol`] trait and interact with the world
 //! through a [`Ctx`] handed to each callback.
@@ -29,6 +33,7 @@
 
 pub mod event;
 pub mod faults;
+pub mod ledger;
 pub mod link;
 pub mod metrics;
 pub mod registry;
@@ -37,7 +42,8 @@ pub mod time;
 pub mod trace;
 pub mod watchdog;
 
-pub use event::QueueBackend;
+pub use event::{CauseClass, Provenance, QueueBackend};
+pub use ledger::{CausalLedger, KindStats, NodeTally, ProvenanceSummary};
 pub use link::LinkConfig;
 pub use metrics::{merge_series, Histogram, Metrics, SeriesPoint};
 pub use sim::{Ctx, ProbeView, Protocol, RunOutcome, Simulator};

@@ -331,6 +331,13 @@ impl Metrics {
         self.hists.entry(key).or_default().observe(value);
     }
 
+    /// Merges a pre-aggregated histogram into the one under `key` — used
+    /// when a subsystem (e.g. the causal ledger) maintains its own
+    /// [`Histogram`] and mirrors it into the registry at summary time.
+    pub fn merge_hist(&mut self, key: &'static str, h: &Histogram) {
+        self.hists.entry(key).or_default().merge(h);
+    }
+
     /// The histogram under `key`, if any observations were recorded.
     pub fn hist(&self, key: &str) -> Option<&Histogram> {
         self.hists.get(key)

@@ -43,11 +43,14 @@ pub const KEYS: &[&str] = &[
     "probe.samples",
     "probe.stuck",
     "probe.watchdog_frozen",
+    "prov.roots",
+    "prov.wasted",
     "route.attempts",
     "route.delivered",
     "runs.converged",
     "runs.total",
     "rx.total",
+    "rx.wasted",
     "tx.dropped",
     "tx.dup",
     "tx.lost_in_flight",
@@ -61,6 +64,8 @@ pub const HISTOGRAMS: &[&str] = &[
     "chaos.recovery_ticks",
     "latency.ticks",
     "probe.pending",
+    "prov.cascade",
+    "prov.depth",
     "rounds.to_line",
     "route.len",
     "route.stretch_milli",
@@ -161,6 +166,9 @@ mod tests {
             "tx.dup",
             "tx.reordered",
             "rx.total",
+            "rx.wasted",
+            "prov.roots",
+            "prov.wasted",
             "fault.crash",
             "fault.join",
             "fault.join_dead_link",

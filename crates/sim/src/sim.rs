@@ -5,8 +5,9 @@ use std::collections::BTreeMap;
 use ssr_graph::Graph;
 use ssr_types::Rng;
 
-use crate::event::{EventKind, EventQueue, QueueBackend};
+use crate::event::{CauseClass, EventKind, EventQueue, Provenance, QueueBackend};
 use crate::faults::Fault;
+use crate::ledger::{CausalLedger, ProvenanceSummary};
 use crate::link::LinkConfig;
 use crate::metrics::Metrics;
 use crate::time::Time;
@@ -62,10 +63,19 @@ pub trait Protocol: Sized {
     }
 }
 
-/// Deferred side effects collected from a protocol callback.
+/// Deferred side effects collected from a protocol callback. Each carries
+/// the cause class in force when it was queued (see [`Ctx::set_cause`]).
 enum Action<M> {
-    Send { to: usize, msg: M },
-    Timer { delay: u64, token: u64 },
+    Send {
+        to: usize,
+        msg: M,
+        cause: CauseClass,
+    },
+    Timer {
+        delay: u64,
+        token: u64,
+        cause: CauseClass,
+    },
 }
 
 /// The world as seen from inside a protocol callback.
@@ -78,6 +88,7 @@ pub struct Ctx<'a, M> {
     rng: &'a mut Rng,
     metrics: &'a mut Metrics,
     trace: &'a TraceSink,
+    cause: CauseClass,
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -105,7 +116,11 @@ impl<'a, M> Ctx<'a, M> {
             self.node,
             to
         );
-        self.actions.push(Action::Send { to, msg });
+        self.actions.push(Action::Send {
+            to,
+            msg,
+            cause: self.cause,
+        });
     }
 
     /// Queues `msg` to every physical neighbor.
@@ -117,6 +132,7 @@ impl<'a, M> Ctx<'a, M> {
             self.actions.push(Action::Send {
                 to,
                 msg: msg.clone(),
+                cause: self.cause,
             });
         }
     }
@@ -127,7 +143,27 @@ impl<'a, M> Ctx<'a, M> {
         self.actions.push(Action::Timer {
             delay: delay.max(1),
             token,
+            cause: self.cause,
         });
+    }
+
+    /// The [`CauseClass`] that actions queued from here on are attributed
+    /// to. The callback starts with the class inherited from the event
+    /// being processed ([`CauseClass::Bootstrap`] for `on_init`,
+    /// [`CauseClass::FaultRepair`] for fault-triggered callbacks).
+    #[inline]
+    pub fn cause(&self) -> CauseClass {
+        self.cause
+    }
+
+    /// Re-tags the cause class for subsequently queued actions and returns
+    /// the previous one, so protocol phases can save/restore around
+    /// sub-steps. Affects only provenance attribution — never delivery
+    /// order, metrics outside the `prov.*`/`rx.wasted` families, or RNG
+    /// draws.
+    #[inline]
+    pub fn set_cause(&mut self, cause: CauseClass) -> CauseClass {
+        std::mem::replace(&mut self.cause, cause)
     }
 
     /// The run's metrics registry.
@@ -279,6 +315,21 @@ pub struct Simulator<P: Protocol> {
     state_gen: u64,
     /// Messages actually delivered to a protocol (post loss/liveness).
     deliveries: u64,
+    /// Next dense provenance id (enqueue order).
+    next_prov: u64,
+    /// Provenance of the event currently being processed; `None` during
+    /// construction-time `on_init` dispatches, whose actions become roots.
+    frame: Option<Provenance>,
+    /// Full provenance stamps of *pending* events, keyed by id — present
+    /// only when a trace sink or the causal ledger is attached. The queue
+    /// itself carries just the 8-byte id, so the uninstrumented hot path
+    /// pays one counter increment per event; entries are inserted at
+    /// enqueue and removed at pop (or at link drop), keeping the table's
+    /// size bounded by the queue depth.
+    prov_meta: Option<BTreeMap<u64, Provenance>>,
+    /// The causal ledger ([`Simulator::instrumented`]); `None` — costing
+    /// one never-taken branch per record site — on the default path.
+    ledger: Option<Box<CausalLedger>>,
 }
 
 impl<P: Protocol> Simulator<P> {
@@ -317,12 +368,41 @@ impl<P: Protocol> Simulator<P> {
         trace: TraceSink,
         backend: QueueBackend,
     ) -> Self {
+        Self::build(topo, protocols, cfg, seed, trace, backend, false)
+    }
+
+    /// Like [`Simulator::with_trace_backend`] with the [`CausalLedger`]
+    /// enabled from before the `on_init` dispatches, so even bootstrap
+    /// sends are attributed. Instrumentation never samples the RNG and
+    /// never reorders events: an instrumented run is byte-identical to an
+    /// uninstrumented one in every other observable.
+    pub fn instrumented(
+        topo: Graph,
+        protocols: Vec<P>,
+        cfg: LinkConfig,
+        seed: u64,
+        trace: TraceSink,
+        backend: QueueBackend,
+    ) -> Self {
+        Self::build(topo, protocols, cfg, seed, trace, backend, true)
+    }
+
+    fn build(
+        topo: Graph,
+        protocols: Vec<P>,
+        cfg: LinkConfig,
+        seed: u64,
+        trace: TraceSink,
+        backend: QueueBackend,
+        instrumented: bool,
+    ) -> Self {
         assert_eq!(
             protocols.len(),
             topo.node_count(),
             "one protocol instance per node required"
         );
         let n = topo.node_count();
+        let observing = trace.enabled() || instrumented;
         let mut sim = Simulator {
             topo,
             alive: vec![true; n],
@@ -344,11 +424,26 @@ impl<P: Protocol> Simulator<P> {
             activations: 0,
             state_gen: 0,
             deliveries: 0,
+            next_prov: 1,
+            frame: None,
+            prov_meta: observing.then(BTreeMap::new),
+            ledger: instrumented.then(|| Box::new(CausalLedger::new(n))),
         };
         for node in 0..n {
             sim.dispatch(node, |p, ctx| p.on_init(ctx));
         }
         sim
+    }
+
+    /// The causal ledger, when this simulator was built via
+    /// [`Simulator::instrumented`].
+    pub fn causal_ledger(&self) -> Option<&CausalLedger> {
+        self.ledger.as_deref()
+    }
+
+    /// A mergeable snapshot of the causal ledger, when instrumented.
+    pub fn causal_summary(&self) -> Option<ProvenanceSummary> {
+        self.ledger.as_deref().map(CausalLedger::summary)
     }
 
     /// Current simulated time.
@@ -472,9 +567,41 @@ impl<P: Protocol> Simulator<P> {
     }
 
     /// Schedules a fault at absolute time `at` (must not be in the past).
+    /// Fault events are provenance roots: every callback and message they
+    /// trigger is attributed to [`CauseClass::FaultRepair`] (unless a
+    /// protocol re-tags it).
     pub fn schedule_fault(&mut self, at: Time, fault: Fault) {
         assert!(at >= self.now, "fault scheduled in the past");
-        self.queue.push(at, EventKind::Fault(fault));
+        let prov = self.alloc_root(CauseClass::FaultRepair);
+        self.queue.push(at, EventKind::Fault(fault), prov.id);
+    }
+
+    /// Allocates the next dense provenance id as a child of the event
+    /// being processed, or as a fresh root during `on_init` dispatches.
+    /// When observing (trace or ledger attached), the stamp is parked in
+    /// the side table until the event pops.
+    fn alloc_prov(&mut self, cause: CauseClass) -> Provenance {
+        let id = self.next_prov;
+        self.next_prov += 1;
+        let prov = match &self.frame {
+            Some(parent) => Provenance::child(parent, id, cause),
+            None => Provenance::root(id, cause),
+        };
+        if let Some(meta) = self.prov_meta.as_mut() {
+            meta.insert(id, prov);
+        }
+        prov
+    }
+
+    /// Allocates the next dense provenance id as a root unconditionally.
+    fn alloc_root(&mut self, cause: CauseClass) -> Provenance {
+        let id = self.next_prov;
+        self.next_prov += 1;
+        let prov = Provenance::root(id, cause);
+        if let Some(meta) = self.prov_meta.as_mut() {
+            meta.insert(id, prov);
+        }
+        prov
     }
 
     /// Registers an observer invoked every `every` ticks during the
@@ -568,15 +695,37 @@ impl<P: Protocol> Simulator<P> {
         debug_assert!(ev.at >= self.now, "time went backwards");
         self.now = ev.at;
         self.events_processed += 1;
+        // Rehydrate the full stamp from the side table; without observers
+        // the lineage is unobservable, so a synthetic root frame suffices
+        // (and keeps the hot path free of map traffic).
+        let prov = match self.prov_meta.as_mut() {
+            Some(meta) => meta
+                .remove(&ev.pid)
+                .expect("queued event is missing its provenance stamp"),
+            None => Provenance::root(ev.pid, CauseClass::Bootstrap),
+        };
+        if let Some(ledger) = self.ledger.as_deref_mut() {
+            ledger.record_event(&prov);
+        }
+        self.frame = Some(prov);
         match ev.kind {
             EventKind::Deliver { dst, from, msg } => self.deliver(dst, from, msg),
             EventKind::Timer { node, token } => {
+                if self.trace.enabled() {
+                    self.trace.record(TraceEvent::TimerFired {
+                        at: self.now,
+                        node,
+                        token,
+                        prov,
+                    });
+                }
                 if self.alive[node] {
                     self.dispatch(node, |p, ctx| p.on_timer(ctx, token));
                 }
             }
             EventKind::Fault(fault) => self.apply_fault(fault),
         }
+        self.frame = None;
         true
     }
 
@@ -658,8 +807,10 @@ impl<P: Protocol> Simulator<P> {
     }
 
     /// Runs `node`'s callback with a fully wired [`Ctx`], then applies the
-    /// actions it queued.
-    fn dispatch(&mut self, node: usize, f: impl FnOnce(&mut P, &mut Ctx<'_, P::Msg>)) {
+    /// actions it queued. Returns how many actions the callback queued —
+    /// zero means the event produced no onward work, which is what tags a
+    /// delivery as *wasted* in the causal ledger.
+    fn dispatch(&mut self, node: usize, f: impl FnOnce(&mut P, &mut Ctx<'_, P::Msg>)) -> usize {
         self.activations += 1;
         self.state_gen += 1;
         self.mark_dirty(node);
@@ -677,47 +828,72 @@ impl<P: Protocol> Simulator<P> {
                 rng: &mut self.rng,
                 metrics: &mut self.metrics,
                 trace: &self.trace,
+                cause: match &self.frame {
+                    Some(frame) => frame.cause,
+                    None => CauseClass::Bootstrap,
+                },
             };
             f(&mut self.protocols[node], &mut ctx);
         }
+        let queued = actions.len();
         for action in actions.drain(..) {
             match action {
-                Action::Send { to, msg } => self.transmit(node, to, msg),
-                Action::Timer { delay, token } => {
+                Action::Send { to, msg, cause } => self.transmit(node, to, msg, cause),
+                Action::Timer {
+                    delay,
+                    token,
+                    cause,
+                } => {
+                    let prov = self.alloc_prov(cause);
                     self.queue
-                        .push(self.now + delay, EventKind::Timer { node, token });
+                        .push(self.now + delay, EventKind::Timer { node, token }, prov.id);
                 }
             }
         }
         self.nbr_buf = nbrs;
         self.action_buf = actions;
+        queued
     }
 
     /// Link-layer transmission: applies the effective per-direction config —
     /// duplication first (each copy is a metered, independent transmission),
     /// then per-copy loss, latency, and bounded-delay reordering.
-    fn transmit(&mut self, from: usize, to: usize, msg: P::Msg) {
+    fn transmit(&mut self, from: usize, to: usize, msg: P::Msg, cause: CauseClass) {
         let cfg = self.link_config(from, to);
         if cfg.dup_prob > 0.0 && self.rng.chance(cfg.dup_prob) {
             self.metrics.incr("tx.dup");
-            self.transmit_copy(from, to, msg.clone(), &cfg);
+            self.transmit_copy(from, to, msg.clone(), &cfg, cause);
         }
-        self.transmit_copy(from, to, msg, &cfg);
+        self.transmit_copy(from, to, msg, &cfg, cause);
     }
 
     /// Transmits one copy: meters the hop (kinds are counted *before* loss
     /// sampling, so `msg.` sums to `tx.total`), samples loss, latency and
-    /// reorder delay.
-    fn transmit_copy(&mut self, from: usize, to: usize, msg: P::Msg, cfg: &LinkConfig) {
+    /// reorder delay. Each copy consumes one provenance id *before* loss
+    /// sampling, so `Send`/`Lost` trace records always carry a `pid` and
+    /// a dropped copy appears in the lineage as a leaf.
+    fn transmit_copy(
+        &mut self,
+        from: usize,
+        to: usize,
+        msg: P::Msg,
+        cfg: &LinkConfig,
+        cause: CauseClass,
+    ) {
         let kind = P::kind(&msg);
+        let prov = self.alloc_prov(cause);
         self.metrics.incr("tx.total");
         self.metrics.incr(kind_key(kind));
+        if let Some(ledger) = self.ledger.as_deref_mut() {
+            ledger.record_send(cause, kind, from);
+        }
         if self.trace.enabled() {
             self.trace.record(TraceEvent::Send {
                 at: self.now,
                 from,
                 to,
                 kind,
+                prov,
             });
         }
         if cfg.drop_prob > 0.0 && self.rng.chance(cfg.drop_prob) {
@@ -728,7 +904,13 @@ impl<P: Protocol> Simulator<P> {
                     from,
                     to,
                     reason: "link-drop",
+                    prov,
                 });
+            }
+            // the copy never enters the queue, so its parked stamp would
+            // otherwise leak in the side table
+            if let Some(meta) = self.prov_meta.as_mut() {
+                meta.remove(&prov.id);
             }
             return;
         }
@@ -741,12 +923,14 @@ impl<P: Protocol> Simulator<P> {
         self.queue.push(
             self.now + latency,
             EventKind::Deliver { dst: to, from, msg },
+            prov.id,
         );
     }
 
     /// Delivery-time checks: the receiver must still be alive and the link
     /// must still exist (mobility may have severed it in flight).
     fn deliver(&mut self, dst: usize, from: usize, msg: P::Msg) {
+        let prov = self.frame.expect("delivery outside an event frame");
         if !self.alive[dst] || !self.alive[from] || !self.topo.has_edge(from, dst) {
             self.metrics.incr("tx.lost_in_flight");
             if self.trace.enabled() {
@@ -755,22 +939,35 @@ impl<P: Protocol> Simulator<P> {
                     from,
                     to: dst,
                     reason: "stale-link",
+                    prov,
                 });
             }
             return;
         }
+        let kind = P::kind(&msg);
         if self.trace.enabled() {
-            let kind = P::kind(&msg);
             self.trace.record(TraceEvent::Deliver {
                 at: self.now,
                 from,
                 to: dst,
                 kind,
+                prov,
             });
         }
         self.metrics.incr("rx.total");
         self.deliveries += 1;
-        self.dispatch(dst, |p, ctx| p.on_message(ctx, from, msg));
+        if let Some(ledger) = self.ledger.as_deref_mut() {
+            ledger.record_delivery(prov.cause, kind, dst, prov.depth);
+        }
+        let queued = self.dispatch(dst, |p, ctx| p.on_message(ctx, from, msg));
+        if queued == 0 {
+            // Wasted work: the delivery triggered no onward action — the
+            // receiver already knew everything the message told it.
+            self.metrics.incr("rx.wasted");
+            if let Some(ledger) = self.ledger.as_deref_mut() {
+                ledger.record_wasted(prov.cause, kind, dst);
+            }
+        }
     }
 
     fn apply_fault(&mut self, fault: Fault) {
@@ -779,6 +976,7 @@ impl<P: Protocol> Simulator<P> {
             self.trace.record(TraceEvent::Fault {
                 at: self.now,
                 desc: format!("{fault:?}"),
+                prov: self.frame.expect("fault outside an event frame"),
             });
         }
         match fault {
@@ -1551,5 +1749,156 @@ mod tests {
         let outcome = sim.run_until_stable(2, 10_000, |ps, _| ps.iter().all(|p| p.fired >= 3));
         assert!(outcome.is_quiescent());
         assert!(outcome.time().ticks() < 100);
+    }
+
+    /// Flood re-deliveries to already-seen nodes queue nothing — those are
+    /// exactly the deliveries the wasted-work counter must tag, with or
+    /// without the ledger attached.
+    #[test]
+    fn wasted_deliveries_are_metered() {
+        let mut sim = flood_sim(8, 3);
+        sim.run_to_quiescence(1_000);
+        let m = sim.metrics();
+        let wasted = m.counter("rx.wasted");
+        assert!(wasted > 0, "a ring flood must waste its second arrivals");
+        assert!(wasted < m.counter("rx.total"));
+    }
+
+    /// The ledger's per-cell totals must reconcile exactly with the
+    /// pre-existing aggregate counters, and a pure-bootstrap run must
+    /// attribute 100% of traffic to the bootstrap cause class.
+    #[test]
+    fn instrumented_ledger_reconciles_with_aggregate_counters() {
+        let topo = generators::ring(8);
+        let protocols: Vec<Flood> = (0..8)
+            .map(|u| Flood {
+                seen: false,
+                first_hops: None,
+                origin: u == 0,
+            })
+            .collect();
+        let mut sim = Simulator::instrumented(
+            topo,
+            protocols,
+            LinkConfig::ideal(),
+            3,
+            TraceSink::disabled(),
+            QueueBackend::default(),
+        );
+        sim.run_to_quiescence(1_000);
+        let summary = sim.causal_summary().expect("instrumented sim has a ledger");
+        let m = sim.metrics();
+        assert_eq!(summary.sent(), m.counter("tx.total"));
+        assert_eq!(summary.delivered(), m.counter("rx.total"));
+        assert_eq!(summary.wasted(), m.counter("rx.wasted"));
+        // everything here descends from on_init broadcasts
+        for &(cause, kind) in summary.messages.keys() {
+            assert_eq!(cause, "bootstrap");
+            assert_eq!(kind, "flood");
+        }
+        // the origin's init broadcast queues one root per ring neighbor
+        assert_eq!(summary.roots, 2);
+        assert_eq!(summary.cascade_sizes.count(), 2);
+        // per-node tallies cover the whole ring
+        assert_eq!(summary.nodes.iter().map(|t| t.sent).sum::<u64>(), 16);
+    }
+
+    /// Attaching the ledger must not perturb the run: traces, metrics and
+    /// end time are byte-identical with and without it.
+    #[test]
+    fn instrumented_run_is_byte_identical_to_uninstrumented() {
+        let run = |instrument: bool| {
+            let topo = generators::gnp(24, 0.2, &mut Rng::new(5));
+            let protocols: Vec<Flood> = (0..24)
+                .map(|u| Flood {
+                    seen: false,
+                    first_hops: None,
+                    origin: u == 0,
+                })
+                .collect();
+            let trace = TraceSink::memory();
+            let link = LinkConfig::lossy(0.1).with_dup(0.1);
+            let backend = QueueBackend::default();
+            let mut sim = if instrument {
+                Simulator::instrumented(topo, protocols, link, 77, trace.clone(), backend)
+            } else {
+                Simulator::with_trace_backend(topo, protocols, link, 77, trace.clone(), backend)
+            };
+            sim.run_to_quiescence(10_000);
+            (trace.take(), sim.metrics().clone(), sim.now())
+        };
+        let plain = run(false);
+        let instrumented = run(true);
+        assert_eq!(plain.0, instrumented.0, "traces diverged");
+        assert_eq!(plain.2, instrumented.2, "end times diverged");
+        let counters_of = |m: &Metrics| m.counters().collect::<Vec<_>>();
+        assert_eq!(counters_of(&plain.1), counters_of(&instrumented.1));
+    }
+
+    /// `Ctx::set_cause` re-tags subsequently queued actions, and the tag
+    /// flows down the causal chain to every descendant.
+    #[test]
+    fn set_cause_retags_descendant_lineage() {
+        /// Origin relays its timer-driven sends as "routing"; receivers
+        /// forward once without touching the cause.
+        #[derive(Clone)]
+        struct Relay {
+            forwarded: bool,
+            origin: bool,
+        }
+        impl Protocol for Relay {
+            type Msg = ();
+            fn on_init(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if self.origin {
+                    ctx.set_timer(1, 0);
+                }
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, _: u64) {
+                assert_eq!(ctx.cause(), CauseClass::Bootstrap);
+                let prev = ctx.set_cause(CauseClass::Routing);
+                ctx.broadcast(());
+                ctx.set_cause(prev);
+                assert_eq!(ctx.cause(), CauseClass::Bootstrap);
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, ()>, _: usize, _: ()) {
+                assert_eq!(ctx.cause(), CauseClass::Routing, "inherited tag");
+                if !self.forwarded {
+                    self.forwarded = true;
+                    ctx.broadcast(());
+                }
+            }
+            fn reset(&mut self) {
+                self.forwarded = false;
+            }
+        }
+        let topo = generators::line(3);
+        let protocols = vec![
+            Relay {
+                forwarded: false,
+                origin: true,
+            },
+            Relay {
+                forwarded: false,
+                origin: false,
+            },
+            Relay {
+                forwarded: false,
+                origin: false,
+            },
+        ];
+        let mut sim = Simulator::instrumented(
+            topo,
+            protocols,
+            LinkConfig::ideal(),
+            1,
+            TraceSink::disabled(),
+            QueueBackend::default(),
+        );
+        sim.run_to_quiescence(1_000);
+        let summary = sim.causal_summary().unwrap();
+        assert!(summary.delivered() > 0);
+        for &(cause, _) in summary.messages.keys() {
+            assert_eq!(cause, "routing", "all message traffic was re-tagged");
+        }
     }
 }

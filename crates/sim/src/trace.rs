@@ -25,6 +25,7 @@ use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
+use crate::event::Provenance;
 use crate::time::Time;
 
 /// One traced simulator event.
@@ -40,6 +41,8 @@ pub enum TraceEvent {
         to: usize,
         /// Protocol-reported message kind.
         kind: &'static str,
+        /// Causal provenance of the transmitted copy.
+        prov: Provenance,
     },
     /// A message arrived and was delivered to the protocol.
     Deliver {
@@ -51,6 +54,8 @@ pub enum TraceEvent {
         to: usize,
         /// Protocol-reported message kind.
         kind: &'static str,
+        /// Causal provenance (same `pid` as the matching `Send`).
+        prov: Provenance,
     },
     /// A message was lost (link drop, dead endpoint, vanished link).
     Lost {
@@ -62,6 +67,21 @@ pub enum TraceEvent {
         to: usize,
         /// Why it was lost.
         reason: &'static str,
+        /// Causal provenance (same `pid` as the matching `Send`).
+        prov: Provenance,
+    },
+    /// A protocol timer fired (whether or not the node was alive to
+    /// handle it) — recorded so `obs causes` can resolve timer links in
+    /// a causal chain.
+    TimerFired {
+        /// Firing time.
+        at: Time,
+        /// Node whose timer fired.
+        node: usize,
+        /// Token the node passed to `Ctx::set_timer`.
+        token: u64,
+        /// Causal provenance of the timer event.
+        prov: Provenance,
     },
     /// A fault was applied.
     Fault {
@@ -69,6 +89,8 @@ pub enum TraceEvent {
         at: Time,
         /// Human-readable description.
         desc: String,
+        /// Causal provenance (faults are lineage roots).
+        prov: Provenance,
     },
     /// A protocol-emitted annotation (via `Ctx::note`).
     Note {
@@ -94,33 +116,64 @@ pub enum TraceEvent {
 /// Serializes one event as a JSON-Lines record (no trailing newline).
 ///
 /// The field names are a stable contract consumed by `obs trace`:
-/// every record has `"ev"` (`send` / `deliver` / `lost` / `fault` / `note`
-/// / `diag`) and `"at"`; message events add `"from"`, `"to"` and `"kind"`
-/// or `"reason"`; faults add `"desc"`; notes add `"node"` and `"text"`;
-/// diagnoses add `"source"` and `"text"`.
+/// every record has `"ev"` (`send` / `deliver` / `lost` / `timer` /
+/// `fault` / `note` / `diag`) and `"at"`; message events add `"from"`,
+/// `"to"` and `"kind"` or `"reason"`; timers add `"node"` and `"token"`;
+/// faults add `"desc"`; notes add `"node"` and `"text"`; diagnoses add
+/// `"source"` and `"text"`. Simulator events (everything but `note` /
+/// `diag`) also carry provenance: `"pid"`, `"parent"` (omitted for
+/// lineage roots), `"depth"` and `"cause"` — the fields `obs causes`
+/// walks and `obs flame` folds.
 pub fn event_to_jsonl(ev: &TraceEvent) -> String {
     match ev {
-        TraceEvent::Send { at, from, to, kind } => format!(
-            "{{\"ev\":\"send\",\"at\":{},\"from\":{from},\"to\":{to},\"kind\":\"{kind}\"}}",
-            at.ticks()
+        TraceEvent::Send {
+            at,
+            from,
+            to,
+            kind,
+            prov,
+        } => format!(
+            "{{\"ev\":\"send\",\"at\":{},\"from\":{from},\"to\":{to},\"kind\":\"{kind}\"{}}}",
+            at.ticks(),
+            prov_fields(prov)
         ),
-        TraceEvent::Deliver { at, from, to, kind } => format!(
-            "{{\"ev\":\"deliver\",\"at\":{},\"from\":{from},\"to\":{to},\"kind\":\"{kind}\"}}",
-            at.ticks()
+        TraceEvent::Deliver {
+            at,
+            from,
+            to,
+            kind,
+            prov,
+        } => format!(
+            "{{\"ev\":\"deliver\",\"at\":{},\"from\":{from},\"to\":{to},\"kind\":\"{kind}\"{}}}",
+            at.ticks(),
+            prov_fields(prov)
         ),
         TraceEvent::Lost {
             at,
             from,
             to,
             reason,
+            prov,
         } => format!(
-            "{{\"ev\":\"lost\",\"at\":{},\"from\":{from},\"to\":{to},\"reason\":\"{reason}\"}}",
-            at.ticks()
-        ),
-        TraceEvent::Fault { at, desc } => format!(
-            "{{\"ev\":\"fault\",\"at\":{},\"desc\":\"{}\"}}",
+            "{{\"ev\":\"lost\",\"at\":{},\"from\":{from},\"to\":{to},\"reason\":\"{reason}\"{}}}",
             at.ticks(),
-            escape_json(desc)
+            prov_fields(prov)
+        ),
+        TraceEvent::TimerFired {
+            at,
+            node,
+            token,
+            prov,
+        } => format!(
+            "{{\"ev\":\"timer\",\"at\":{},\"node\":{node},\"token\":{token}{}}}",
+            at.ticks(),
+            prov_fields(prov)
+        ),
+        TraceEvent::Fault { at, desc, prov } => format!(
+            "{{\"ev\":\"fault\",\"at\":{},\"desc\":\"{}\"{}}}",
+            at.ticks(),
+            escape_json(desc),
+            prov_fields(prov)
         ),
         TraceEvent::Note { at, node, text } => format!(
             "{{\"ev\":\"note\",\"at\":{},\"node\":{node},\"text\":\"{}\"}}",
@@ -133,6 +186,22 @@ pub fn event_to_jsonl(ev: &TraceEvent) -> String {
             escape_json(text)
         ),
     }
+}
+
+/// The provenance tail shared by simulator-event records: `,"pid":N`,
+/// then `,"parent":M` unless the event is a lineage root, then
+/// `,"depth":D,"cause":"<label>"`.
+fn prov_fields(prov: &Provenance) -> String {
+    let parent = match prov.parent {
+        Some(id) => format!(",\"parent\":{id}"),
+        None => String::new(),
+    };
+    format!(
+        ",\"pid\":{}{parent},\"depth\":{},\"cause\":\"{}\"",
+        prov.id,
+        prov.depth,
+        prov.cause.label()
+    )
 }
 
 /// Escapes a string for inclusion in a JSON string literal.
@@ -313,6 +382,11 @@ impl TraceSink {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::CauseClass;
+
+    fn prov(id: u64) -> Provenance {
+        Provenance::root(id, CauseClass::Bootstrap)
+    }
 
     #[test]
     fn disabled_sink_discards() {
@@ -355,6 +429,7 @@ mod tests {
         clone.record(TraceEvent::Fault {
             at: Time(0),
             desc: "crash".into(),
+            prov: prov(0),
         });
         assert_eq!(sink.len(), 1);
     }
@@ -407,6 +482,13 @@ mod tests {
             from: 1,
             to: 2,
             kind: "notify",
+            prov: Provenance {
+                id: 7,
+                parent: std::num::NonZeroU64::new(3),
+                root: 3,
+                depth: 2,
+                cause: CauseClass::LinearizationStep,
+            },
         });
         sink.record(TraceEvent::Note {
             at: Time(4),
@@ -418,7 +500,8 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(
             text,
-            "{\"ev\":\"send\",\"at\":3,\"from\":1,\"to\":2,\"kind\":\"notify\"}\n\
+            "{\"ev\":\"send\",\"at\":3,\"from\":1,\"to\":2,\"kind\":\"notify\",\
+             \"pid\":7,\"parent\":3,\"depth\":2,\"cause\":\"linearization-step\"}\n\
              {\"ev\":\"note\",\"at\":4,\"node\":2,\"text\":\"say \\\"hi\\\"\\n\"}\n"
         );
         std::fs::remove_file(&path).ok();
@@ -432,22 +515,32 @@ mod tests {
                 from: 0,
                 to: 1,
                 kind: "k",
+                prov: prov(0),
             },
             TraceEvent::Deliver {
                 at: Time(2),
                 from: 0,
                 to: 1,
                 kind: "k",
+                prov: prov(0),
             },
             TraceEvent::Lost {
                 at: Time(3),
                 from: 0,
                 to: 1,
                 reason: "r",
+                prov: prov(0),
+            },
+            TraceEvent::TimerFired {
+                at: Time(4),
+                node: 7,
+                token: 260,
+                prov: prov(1),
             },
             TraceEvent::Fault {
                 at: Time(4),
                 desc: "d".into(),
+                prov: prov(2),
             },
             TraceEvent::Note {
                 at: Time(5),
@@ -470,9 +563,22 @@ mod tests {
             })
             .collect();
         assert!(kinds[2].contains("\"reason\":\"r\""));
-        assert!(kinds[3].contains("\"desc\":\"d\""));
-        assert!(kinds[4].contains("\"node\":9"));
-        assert!(kinds[5].contains("\"source\":\"watchdog\""));
-        assert!(kinds[5].contains("\"text\":\"frozen\""));
+        assert!(kinds[3].contains("\"ev\":\"timer\""));
+        assert!(kinds[3].contains("\"token\":260"));
+        assert!(kinds[4].contains("\"desc\":\"d\""));
+        assert!(kinds[5].contains("\"node\":9"));
+        assert!(kinds[6].contains("\"source\":\"watchdog\""));
+        assert!(kinds[6].contains("\"text\":\"frozen\""));
+        // simulator events carry provenance; roots omit "parent"
+        for line in &kinds[..5] {
+            assert!(line.contains("\"pid\":"), "{line}");
+            assert!(line.contains("\"cause\":\"bootstrap\""), "{line}");
+            assert!(!line.contains("\"parent\":"), "{line}");
+            assert!(line.contains("\"depth\":0"), "{line}");
+        }
+        // annotations carry none
+        for line in &kinds[5..] {
+            assert!(!line.contains("\"pid\":"), "{line}");
+        }
     }
 }

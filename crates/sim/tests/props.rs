@@ -42,7 +42,7 @@ proptest! {
     fn event_queue_pops_in_time_then_fifo_order(times in proptest::collection::vec(0u64..100, 1..200)) {
         let mut q: EventQueue<()> = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
-            q.push(Time(t), EventKind::Timer { node: i, token: 0 });
+            q.push(Time(t), EventKind::Timer { node: i, token: 0 }, i as u64);
         }
         let mut last: Option<(u64, usize)> = None;
         let mut popped = 0;

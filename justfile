@@ -40,3 +40,12 @@ bench:
 # regenerate the committed perf baseline (BENCH_perf.json at the repo root)
 perf-baseline:
     cargo run --release -p ssr-bench --bin exp_perf
+
+# folded causal stacks (cause;kind;depth) from a fresh chaos smoke run,
+# written to results/flame.folded — pipe into flamegraph.pl / inferno
+flame:
+    cargo build --release -q -p ssr-bench --bin exp_chaos -p ssr-obs --bin obs
+    rm -rf target/flame && mkdir -p target/flame results
+    cd target/flame && SSR_OBS_OMIT_WALL=1 ../../target/release/exp_chaos --smoke > /dev/null
+    ./target/release/obs flame target/flame/results/exp_chaos.manifest.json > results/flame.folded
+    @echo "wrote results/flame.folded ($(wc -l < results/flame.folded) stacks)"

@@ -1,0 +1,240 @@
+//! Provenance invariants over chaos scenarios: the causal lineage every
+//! event carries (see docs/PROFILING.md) must form a DAG rooted only at
+//! bootstrap and fault events, with depth growing by exactly one per
+//! link, and the causal ledger's per-kind totals must reconcile with the
+//! simulator's own delivery counter. A final test pins provenance-id
+//! assignment across queue backends: ids are part of the deterministic
+//! observable surface, so the tick wheel and the reference heap must
+//! produce byte-identical lineages.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use ssr_core::bootstrap::{make_ssr_nodes, BootstrapConfig};
+use ssr_core::{chaos, consistency};
+use ssr_sim::faults::Fault;
+use ssr_sim::{
+    CauseClass, LinkConfig, Provenance, QueueBackend, Simulator, Time, TraceEvent, TraceSink,
+};
+use ssr_types::Rng;
+use ssr_workloads::Topology;
+
+/// Which corruption/fault shape a run starts from.
+#[derive(Clone, Copy, Debug)]
+enum Scenario {
+    WoundRing,
+    RandomSucc,
+    PartitionHeal,
+}
+
+struct Run {
+    trace: Vec<TraceEvent>,
+    messages_delivered: u64,
+    ledger_delivered_by_kind: Vec<(&'static str, u64)>,
+}
+
+/// An E11-shaped instrumented chaos run with a full in-memory trace.
+/// Mirrors `perf_equivalence::run_chaos` but with the causal ledger on.
+fn run_instrumented(scenario: Scenario, n: usize, seed: u64, backend: QueueBackend) -> Run {
+    std::env::set_var("SSR_OBS_OMIT_WALL", "1");
+    let (g, labels) = Topology::UnitDisk { n, scale: 1.4 }.instance(seed ^ 0xA5A5);
+    let nodes = make_ssr_nodes(&labels, BootstrapConfig::default().ssr);
+    let link = LinkConfig::ideal().with_dup(0.1).with_reorder(0.15, 4);
+    let trace = TraceSink::memory();
+    let mut sim = Simulator::instrumented(g, nodes, link, seed, trace.clone(), backend);
+
+    let mut frng = Rng::new(seed ^ 0x00C4);
+    match scenario {
+        Scenario::WoundRing => {
+            let succ = chaos::wound_ring_succ(labels.ids(), 3.min(n));
+            chaos::apply_succ_corruption(&mut sim, &labels, &succ, true);
+        }
+        Scenario::RandomSucc => {
+            let succ = chaos::random_succ(labels.ids(), &mut frng);
+            chaos::apply_succ_corruption(&mut sim, &labels, &succ, true);
+        }
+        Scenario::PartitionHeal => {
+            let groups = ssr_sim::faults::partition_groups(n, 2, &mut frng);
+            sim.schedule_fault(Time(40), Fault::Partition { groups });
+            sim.schedule_fault(Time(400), Fault::Heal);
+        }
+    }
+
+    let inv = chaos::shared_invariants(500);
+    sim.add_probe(16, chaos::invariant_probe(labels.clone(), Rc::clone(&inv)));
+
+    if matches!(scenario, Scenario::PartitionHeal) {
+        sim.run_until(Time(450));
+    }
+    let outcome = sim.run_until_stable(8, 100_000, |nodes, _| {
+        consistency::check_ring(nodes).consistent()
+    });
+    assert!(
+        outcome.is_quiescent() && consistency::check_ring(sim.protocols()).consistent(),
+        "{scenario:?} seed={seed}: did not converge"
+    );
+    let summary = sim.causal_summary().expect("instrumented run has a ledger");
+    let mut by_kind: Vec<(&'static str, u64)> = Vec::new();
+    for (&(_, kind), stats) in &summary.messages {
+        match by_kind.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, v)) => *v += stats.delivered,
+            None => by_kind.push((kind, stats.delivered)),
+        }
+    }
+    Run {
+        trace: trace.take(),
+        messages_delivered: sim.metrics().counter("rx.total"),
+        ledger_delivered_by_kind: by_kind,
+    }
+}
+
+/// Every provenance stamp a trace exposes, in emission order.
+fn provenances(trace: &[TraceEvent]) -> Vec<Provenance> {
+    trace
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Send { prov, .. }
+            | TraceEvent::Deliver { prov, .. }
+            | TraceEvent::Lost { prov, .. }
+            | TraceEvent::TimerFired { prov, .. }
+            | TraceEvent::Fault { prov, .. } => Some(*prov),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The lineage invariants: ids are unique per event, parents precede
+/// children (so the lineage is acyclic), depth is exactly parent+1, roots
+/// are exactly the parentless events, and only bootstrap or fault-repair
+/// events are roots.
+fn assert_lineage_is_rooted_dag(provs: &[Provenance]) {
+    let mut seen: HashMap<u64, Provenance> = HashMap::new();
+    for p in provs {
+        if let Some(prev) = seen.get(&p.id) {
+            // the same event may surface in several records (send +
+            // deliver, or a timer's set + fire) — always with one stamp
+            assert_eq!(prev, p, "pid {} has two different stamps", p.id);
+            continue;
+        }
+        seen.insert(p.id, *p);
+    }
+    for p in seen.values() {
+        match p.parent {
+            None => {
+                assert_eq!(p.depth, 0, "parentless pid {} has depth {}", p.id, p.depth);
+                assert_eq!(p.root, p.id, "root pid {} points at root {}", p.id, p.root);
+                assert!(
+                    matches!(p.cause, CauseClass::Bootstrap | CauseClass::FaultRepair),
+                    "root pid {} has cause {:?} — lineage must root only at \
+                     bootstrap/fault events",
+                    p.id,
+                    p.cause
+                );
+            }
+            Some(parent) => {
+                assert!(
+                    parent.get() < p.id,
+                    "pid {} has parent {parent} >= itself — ids are dense in \
+                     allocation order, so this would be a cycle",
+                    p.id
+                );
+                assert!(p.depth > 0, "pid {} has a parent but depth 0", p.id);
+                // the parent may be invisible in the trace (an event that
+                // produced no record is possible only for dispatch-internal
+                // steps; every queued event traces) — when visible, check
+                // the depth and root links exactly
+                if let Some(pp) = seen.get(&parent.get()) {
+                    assert_eq!(
+                        p.depth,
+                        pp.depth + 1,
+                        "pid {} depth {} != parent {parent} depth {} + 1",
+                        p.id,
+                        p.depth,
+                        pp.depth
+                    );
+                    assert_eq!(
+                        p.root, pp.root,
+                        "pid {} root differs from parent's root",
+                        p.id
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn lineage_is_a_dag_rooted_at_bootstrap_and_faults(
+        seed in 0u64..1000,
+        scenario_ix in 0usize..3,
+    ) {
+        let scenario = [Scenario::WoundRing, Scenario::RandomSucc, Scenario::PartitionHeal]
+            [scenario_ix];
+        let run = run_instrumented(scenario, 20, seed, QueueBackend::TickWheel);
+        let provs = provenances(&run.trace);
+        prop_assert!(!provs.is_empty());
+        assert_lineage_is_rooted_dag(&provs);
+
+        // fault events are lineage roots with the fault-repair cause
+        for e in &run.trace {
+            if let TraceEvent::Fault { prov, .. } = e {
+                prop_assert_eq!(prov.depth, 0);
+                prop_assert!(matches!(prov.cause, CauseClass::FaultRepair));
+            }
+        }
+
+        // the ledger's per-kind delivered totals sum to the simulator's
+        // own delivery counter — the attribution is complete
+        let ledger_total: u64 = run.ledger_delivered_by_kind.iter().map(|&(_, v)| v).sum();
+        prop_assert_eq!(ledger_total, run.messages_delivered);
+
+        // and each kind's ledger cell matches the delivered events in the
+        // trace for that kind
+        let mut trace_by_kind: HashMap<&'static str, u64> = HashMap::new();
+        for e in &run.trace {
+            if let TraceEvent::Deliver { kind, .. } = e {
+                *trace_by_kind.entry(kind).or_insert(0) += 1;
+            }
+        }
+        for &(kind, delivered) in &run.ledger_delivered_by_kind {
+            prop_assert_eq!(
+                trace_by_kind.get(kind).copied().unwrap_or(0),
+                delivered,
+                "kind {} ledger/trace mismatch",
+                kind
+            );
+        }
+    }
+}
+
+/// Provenance ids are assigned at enqueue time from a dense counter, so
+/// the queue backend must not affect them: the tick wheel and the
+/// reference heap produce byte-identical provenance streams.
+#[test]
+fn provenance_ids_are_identical_across_queue_backends() {
+    for (scenario, seed) in [
+        (Scenario::WoundRing, 1u64),
+        (Scenario::RandomSucc, 2),
+        (Scenario::PartitionHeal, 3),
+    ] {
+        let wheel = run_instrumented(scenario, 24, seed, QueueBackend::TickWheel);
+        let heap = run_instrumented(scenario, 24, seed, QueueBackend::ReferenceHeap);
+        let wp = provenances(&wheel.trace);
+        let hp = provenances(&heap.trace);
+        assert_eq!(
+            wp.len(),
+            hp.len(),
+            "{scenario:?} seed={seed}: provenance stream lengths diverged"
+        );
+        for (i, (w, h)) in wp.iter().zip(hp.iter()).enumerate() {
+            assert_eq!(
+                w, h,
+                "{scenario:?} seed={seed}: provenance diverges at record {i}"
+            );
+        }
+    }
+}
