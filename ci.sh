@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Offline CI: build, test, lint, format check, then the chaos smoke
-# matrix (exp_chaos --smoke: self-stabilization gate), the
+# Offline CI: build, test, lint, docs, format check, then the chaos
+# smoke matrix (exp_chaos --smoke: self-stabilization gate), the sweep
+# smoke (orchestrator byte-determinism across --workers), the
 # observability smoke path (fig1_loopy with a JSONL trace sink + obs
 # summarize/diff/causes + chaos manifest determinism with the causal
 # ledger on + obs flame/top attribution gates), and the perf-baseline
@@ -20,11 +21,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== ssr-lint =="
 cargo run --release -q -p ssr-lint -- --workspace --baseline lint-baseline.json
 
+echo "== rustdoc =="
+# every crate documents warning-free (broken intra-doc links are errors)
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "== fmt =="
 cargo fmt --all --check
 
 echo "== chaos smoke =="
 ./target/release/exp_chaos --smoke
+
+echo "== sweep smoke =="
+./scripts/sweep_smoke.sh
 
 echo "== obs smoke =="
 ./scripts/obs_smoke.sh

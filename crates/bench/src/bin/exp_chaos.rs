@@ -20,10 +20,17 @@
 //! classified `frozen_crossing` in the manifest instead of silently
 //! burning the tick budget.
 //!
+//! The whole scenario × n × seed cross product runs as one flat job list
+//! on the sweep orchestrator (`ssr_workloads::run_matrix`): `--workers N`
+//! sets the fan-out, `--matrix scenario=loss,dup;n=100;seeds=5` reshapes
+//! the matrix, and the merged manifest is byte-identical for any worker
+//! count (docs/SWEEPS.md).
+//!
 //! Run: `cargo run --release -p ssr-bench --bin exp_chaos`
 //! Flags: `--seeds K` (default 3), `--quick` (n=50 only), `--smoke`
 //! (n=16, 2 seeds — the CI determinism check), `--only NAME` (one
-//! scenario), `--freeze-window T`, `--csv PATH`.
+//! scenario; sugar for `--matrix scenario=NAME`), `--freeze-window T`,
+//! `--workers N`, `--matrix SPEC`, `--csv PATH`.
 
 use std::rc::Rc;
 
@@ -38,7 +45,7 @@ use ssr_sim::{
 };
 use ssr_types::Rng;
 use ssr_vrr::{run_vrr_bootstrap_watched, VrrMode};
-use ssr_workloads::{parallel_map, summarize_counts, Table, Topology};
+use ssr_workloads::{parallel_map, run_matrix, summarize_counts, Matrix, Table, Topology};
 
 /// How a scenario corrupts the initial virtual-ring state.
 #[derive(Clone, Copy)]
@@ -313,7 +320,6 @@ fn main() {
     let smoke = args.flag("smoke");
     let seeds: u64 = if smoke { 2 } else { args.get("seeds", 3) };
     let freeze_window: u64 = args.get("freeze-window", FREEZE_WINDOW);
-    let only = args.opt("only");
     let sizes: Vec<usize> = if smoke {
         vec![16]
     } else if args.quick() {
@@ -321,6 +327,15 @@ fn main() {
     } else {
         vec![50, 100]
     };
+
+    let specs = scenarios();
+    let mut matrix = Matrix::new(specs.iter().map(|s| s.name), sizes, seeds);
+    if let Some(only) = args.opt("only") {
+        // sugar for --matrix scenario=NAME
+        if let Err(e) = matrix.override_with(&format!("scenario={only}")) {
+            panic!("--only {only}: {e}");
+        }
+    }
 
     let mut table = Table::new(
         "E11: chaos matrix (adversarial links, partitions, churn, corrupted starts)".to_string(),
@@ -337,11 +352,24 @@ fn main() {
         ],
     );
     let mut man = ssr_bench::manifest(&args, "exp_chaos");
+    let matrix = ssr_bench::resolve_matrix(&args, &mut man, matrix);
     man.seed(0)
         .config("smoke", smoke)
-        .config("sizes", format!("{sizes:?}"))
         .config("window", WINDOW)
         .config("freeze_window", freeze_window);
+
+    // The full scenario × n × seed cross product as one flat job list on
+    // the orchestrator pool. Results come back in canonical job order, so
+    // the merged registries and the manifest below are byte-identical for
+    // any --workers value.
+    let sweep = run_matrix(&matrix, args.workers(), |job| {
+        let spec = specs
+            .iter()
+            .find(|s| s.name == matrix.name(job))
+            .expect("matrix scenarios come from the spec library");
+        run_scenario(spec, job.n, job.seed, freeze_window)
+    });
+
     let mut agg = Metrics::new();
     let mut agg_prov = ProvenanceSummary::default();
     // CI gate: every SSR scenario must self-stabilize (converge without
@@ -349,73 +377,64 @@ fn main() {
     // collected so the table and manifest still come out, then fail the
     // process.
     let mut failures: Vec<String> = Vec::new();
+    let seeds = matrix.seeds.len() as u64;
 
-    for spec in scenarios() {
-        if only.is_some_and(|o| o != spec.name) {
-            continue;
-        }
-        for &n in &sizes {
-            let inputs: Vec<u64> = (0..seeds).collect();
-            let outcomes = parallel_map(inputs, ssr_workloads::sweep::default_workers(), |&seed| {
-                run_scenario(&spec, n, seed, freeze_window)
+    for (name, n, outcomes) in sweep.cells() {
+        for (o, &seed) in outcomes.iter().zip(&matrix.seeds) {
+            man.chaos_scenario(ssr_obs::ChaosScenario {
+                name: name.to_string(),
+                n: n as u64,
+                seed,
+                verdict: o.verdict.to_string(),
+                recovery_ticks: o.recovery_ticks,
+                recovery_msgs: o.recovery_msgs,
+                floods: o.floods,
+                union_disconnected: o.union_disconnected,
+                potential_rises: o.potential_rises,
             });
-            for (seed, o) in outcomes.iter().enumerate() {
-                man.chaos_scenario(ssr_obs::ChaosScenario {
-                    name: spec.name.to_string(),
-                    n: n as u64,
-                    seed: seed as u64,
-                    verdict: o.verdict.to_string(),
-                    recovery_ticks: o.recovery_ticks,
-                    recovery_msgs: o.recovery_msgs,
-                    floods: o.floods,
-                    union_disconnected: o.union_disconnected,
-                    potential_rises: o.potential_rises,
-                });
-                agg.merge(&o.metrics);
-                agg_prov.merge(&o.provenance);
-                if o.converged {
-                    agg.observe_hist("chaos.recovery_ticks", o.recovery_ticks);
-                    agg.observe_hist("chaos.recovery_msgs", o.recovery_msgs);
-                }
+            agg.merge(&o.metrics);
+            agg_prov.merge(&o.provenance);
+            if o.converged {
+                agg.observe_hist("chaos.recovery_ticks", o.recovery_ticks);
+                agg.observe_hist("chaos.recovery_msgs", o.recovery_msgs);
             }
-            let ok = outcomes.iter().filter(|o| o.converged).count();
-            let frozen = outcomes
-                .iter()
-                .filter(|o| o.verdict.starts_with("frozen"))
-                .count();
-            let ticks = summarize_counts(
-                outcomes
-                    .iter()
-                    .filter(|o| o.converged)
-                    .map(|o| o.recovery_ticks),
-            );
-            let msgs = summarize_counts(
-                outcomes
-                    .iter()
-                    .filter(|o| o.converged)
-                    .map(|o| o.recovery_msgs),
-            );
-            let floods: u64 = outcomes.iter().map(|o| o.floods).sum();
-            let union_disc: u64 = outcomes.iter().map(|o| o.union_disconnected).sum();
-            let rises: u64 = outcomes.iter().map(|o| o.potential_rises).sum();
-            if ok as u64 != seeds || floods != 0 || union_disc != 0 {
-                failures.push(format!(
-                    "{} n={n}: converged {ok}/{seeds}, floods {floods}, union disc {union_disc}",
-                    spec.name
-                ));
-            }
-            table.row(&[
-                spec.name.to_string(),
-                n.to_string(),
-                format!("{ok}/{seeds}"),
-                format!("{:.0}", ticks.mean),
-                fmt_count(msgs.mean as u64),
-                floods.to_string(),
-                frozen.to_string(),
-                union_disc.to_string(),
-                rises.to_string(),
-            ]);
         }
+        let ok = outcomes.iter().filter(|o| o.converged).count();
+        let frozen = outcomes
+            .iter()
+            .filter(|o| o.verdict.starts_with("frozen"))
+            .count();
+        let ticks = summarize_counts(
+            outcomes
+                .iter()
+                .filter(|o| o.converged)
+                .map(|o| o.recovery_ticks),
+        );
+        let msgs = summarize_counts(
+            outcomes
+                .iter()
+                .filter(|o| o.converged)
+                .map(|o| o.recovery_msgs),
+        );
+        let floods: u64 = outcomes.iter().map(|o| o.floods).sum();
+        let union_disc: u64 = outcomes.iter().map(|o| o.union_disconnected).sum();
+        let rises: u64 = outcomes.iter().map(|o| o.potential_rises).sum();
+        if ok as u64 != seeds || floods != 0 || union_disc != 0 {
+            failures.push(format!(
+                "{name} n={n}: converged {ok}/{seeds}, floods {floods}, union disc {union_disc}"
+            ));
+        }
+        table.row(&[
+            name.to_string(),
+            n.to_string(),
+            format!("{ok}/{seeds}"),
+            format!("{:.0}", ticks.mean),
+            fmt_count(msgs.mean as u64),
+            floods.to_string(),
+            frozen.to_string(),
+            union_disc.to_string(),
+            rises.to_string(),
+        ]);
     }
 
     table.print();
@@ -426,14 +445,15 @@ fn main() {
 
     // VRR crossing-state rows (DESIGN.md finding 7): seeds pinned to runs
     // known to freeze, plus one healthy control. The watchdog verdict —
-    // not a burned tick budget — is the recorded outcome.
-    let vrr_runs: &[(usize, u64)] = if smoke {
-        &[(28, 9), (20, 0)]
+    // not a burned tick budget — is the recorded outcome. Pinned (n, seed)
+    // pairs are not a cross product, so they ride the pool via
+    // parallel_map; reports come back in pin order.
+    let vrr_runs: Vec<(usize, u64)> = if smoke {
+        vec![(28, 9), (20, 0)]
     } else {
-        &[(28, 9), (28, 12), (30, 2), (20, 0)]
+        vec![(28, 9), (28, 12), (30, 2), (20, 0)]
     };
-    println!("\nVRR crossing-state classification (watched bootstrap):");
-    for &(n, seed) in vrr_runs {
+    let vrr_reports = parallel_map(vrr_runs, args.workers(), |&(n, seed)| {
         let mut rng = Rng::new(seed);
         let (g, _) = generators::unit_disk_connected(n, 1.3, &mut rng);
         let labels = Labeling::random(n, &mut rng);
@@ -446,6 +466,10 @@ fn main() {
             200_000,
             2_000,
         );
+        (n, seed, report)
+    });
+    println!("\nVRR crossing-state classification (watched bootstrap):");
+    for (n, seed, report) in &vrr_reports {
         println!(
             "  n={n:<4} seed={seed:<4} verdict={:<16} ticks={} msgs={}",
             report.verdict,
@@ -454,8 +478,8 @@ fn main() {
         );
         man.chaos_scenario(ssr_obs::ChaosScenario {
             name: "vrr-bootstrap".to_string(),
-            n: n as u64,
-            seed,
+            n: *n as u64,
+            seed: *seed,
             verdict: report.verdict.to_string(),
             recovery_ticks: report.ticks,
             recovery_msgs: report.total_messages,

@@ -7,18 +7,22 @@
 //! targets) and meters every link-layer transmission by kind, plus
 //! convergence time and end-state router state.
 //!
+//! The mechanism × n × seed sweep runs through the deterministic
+//! orchestrator (docs/SWEEPS.md): output bytes never depend on `--workers`.
+//!
 //! Ablations: `--no-ccw` disables the redundant counter-clockwise probes;
 //! `--keep-edges` disables tear-downs (the with-memory variant: fewer
 //! messages per step, more state).
 //!
 //! Run: `cargo run --release -p ssr-bench --bin exp_flooding_cost`
 //! Flags: `--seeds K` (default 5), `--quick`, `--no-ccw`, `--keep-edges`,
+//! `--workers N`, `--matrix SPEC` (e.g. `scenario=linearized;n=200`),
 //! `--csv PATH`.
 
 use ssr_bench::{fmt_count, Args};
 use ssr_core::bootstrap::{run_isprp_bootstrap, run_linearized_bootstrap, BootstrapConfig};
 use ssr_obs::Value;
-use ssr_workloads::{parallel_map, summarize_counts, Table, Topology};
+use ssr_workloads::{run_matrix, summarize_counts, Table, Topology};
 
 struct Row {
     converged: bool,
@@ -45,6 +49,45 @@ fn main() {
     cfg.ssr.ccw_redundancy = !args.flag("no-ccw");
     cfg.ssr.teardown = !args.flag("keep-edges");
 
+    let mut man = ssr_bench::manifest(&args, "exp_flooding_cost");
+    man.seed(0)
+        .config("no-ccw", args.flag("no-ccw"))
+        .config("keep-edges", args.flag("keep-edges"));
+    let matrix = ssr_bench::resolve_matrix(
+        &args,
+        &mut man,
+        ssr_workloads::Matrix::new(["linearized", "isprp"], sizes, seeds),
+    );
+
+    let sweep = run_matrix(&matrix, args.workers(), |job| {
+        let (n, seed) = (job.n, job.seed);
+        let topo = Topology::UnitDisk { n, scale: 1.3 };
+        let (g, labels) = topo.instance(seed.wrapping_mul(101) ^ n as u64);
+        let mut cfg = cfg;
+        cfg.seed = seed;
+        let report = if matrix.name(job) == "linearized" {
+            run_linearized_bootstrap(&g, &labels, &cfg).0
+        } else {
+            run_isprp_bootstrap(&g, &labels, &cfg).0
+        };
+        let kind = |k: &str| {
+            report
+                .messages
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        Row {
+            converged: report.converged,
+            ticks: report.ticks,
+            total: report.total_messages,
+            flood: kind("msg.flood"),
+            notify: kind("msg.notify") + kind("msg.succ"),
+            max_state: report.max_state,
+        }
+    });
+
     let mut table = Table::new(
         "E6: bootstrap cost — ISPRP + flood vs linearized SSR (unit-disk)",
         &[
@@ -60,63 +103,33 @@ fn main() {
     );
     let mut sweep_means: Vec<(String, Value)> = Vec::new();
 
-    for &n in &sizes {
-        let topo = Topology::UnitDisk { n, scale: 1.3 };
-        for mech in ["linearized", "isprp"] {
-            let inputs: Vec<u64> = (0..seeds).collect();
-            let cfg = cfg;
-            let rows = parallel_map(inputs, ssr_workloads::sweep::default_workers(), |&seed| {
-                let (g, labels) = topo.instance(seed.wrapping_mul(101) ^ n as u64);
-                let mut cfg = cfg;
-                cfg.seed = seed;
-                let report = if mech == "linearized" {
-                    run_linearized_bootstrap(&g, &labels, &cfg).0
-                } else {
-                    run_isprp_bootstrap(&g, &labels, &cfg).0
-                };
-                let kind = |k: &str| {
-                    report
-                        .messages
-                        .iter()
-                        .find(|(key, _)| key == k)
-                        .map(|(_, v)| *v)
-                        .unwrap_or(0)
-                };
-                Row {
-                    converged: report.converged,
-                    ticks: report.ticks,
-                    total: report.total_messages,
-                    flood: kind("msg.flood"),
-                    notify: kind("msg.notify") + kind("msg.succ"),
-                    max_state: report.max_state,
-                }
-            });
-            let conv = rows.iter().filter(|r| r.converged).count();
-            let ticks = summarize_counts(rows.iter().map(|r| r.ticks));
-            let total = summarize_counts(rows.iter().map(|r| r.total));
-            let flood: u64 = rows.iter().map(|r| r.flood).sum::<u64>() / seeds.max(1);
-            let notify: u64 = rows.iter().map(|r| r.notify).sum::<u64>() / seeds.max(1);
-            let max_state = rows.iter().map(|r| r.max_state).max().unwrap_or(0);
-            sweep_means.push((
-                format!("{mech}/n={n}"),
-                Value::Obj(vec![
-                    ("msgs_mean".into(), total.mean.into()),
-                    ("ticks_mean".into(), ticks.mean.into()),
-                    ("flood_mean".into(), flood.into()),
-                    ("converged".into(), (conv as u64).into()),
-                ]),
-            ));
-            table.row(&[
-                n.to_string(),
-                mech.into(),
-                format!("{conv}/{seeds}"),
-                format!("{:.0}", ticks.mean),
-                fmt_count(total.mean as u64),
-                fmt_count(flood),
-                fmt_count(notify),
-                max_state.to_string(),
-            ]);
-        }
+    for (mech, n, rows) in sweep.cells() {
+        let runs = rows.len() as u64;
+        let conv = rows.iter().filter(|r| r.converged).count();
+        let ticks = summarize_counts(rows.iter().map(|r| r.ticks));
+        let total = summarize_counts(rows.iter().map(|r| r.total));
+        let flood: u64 = rows.iter().map(|r| r.flood).sum::<u64>() / runs.max(1);
+        let notify: u64 = rows.iter().map(|r| r.notify).sum::<u64>() / runs.max(1);
+        let max_state = rows.iter().map(|r| r.max_state).max().unwrap_or(0);
+        sweep_means.push((
+            format!("{mech}/n={n}"),
+            Value::Obj(vec![
+                ("msgs_mean".into(), total.mean.into()),
+                ("ticks_mean".into(), ticks.mean.into()),
+                ("flood_mean".into(), flood.into()),
+                ("converged".into(), (conv as u64).into()),
+            ]),
+        ));
+        table.row(&[
+            n.to_string(),
+            mech.into(),
+            format!("{conv}/{runs}"),
+            format!("{:.0}", ticks.mean),
+            fmt_count(total.mean as u64),
+            fmt_count(flood),
+            fmt_count(notify),
+            max_state.to_string(),
+        ]);
     }
 
     table.print();
@@ -128,21 +141,19 @@ fn main() {
         println!("(csv written to {path})");
     }
 
-    // Manifest: one representative linearized run (seed 0, largest n) for
-    // the full metric/timeline dump; the sweep means ride along as extras.
-    let rep_n = *sizes.last().unwrap();
-    let mut man = ssr_bench::manifest(&args, "exp_flooding_cost");
-    man.seed(0)
-        .config("no-ccw", args.flag("no-ccw"))
-        .config("keep-edges", args.flag("keep-edges"))
-        .config("timeline_n", rep_n);
+    // Manifest: one representative linearized run (first matrix seed,
+    // largest n) for the full metric/timeline dump; the sweep means ride
+    // along as extras.
+    let rep_n = *matrix.sizes.last().unwrap();
+    let rep_seed = matrix.seeds[0];
+    man.config("timeline_n", rep_n);
     let (g, labels) = Topology::UnitDisk {
         n: rep_n,
         scale: 1.3,
     }
-    .instance(rep_n as u64);
+    .instance(rep_seed.wrapping_mul(101) ^ rep_n as u64);
     let mut rep_cfg = cfg;
-    rep_cfg.seed = 0;
+    rep_cfg.seed = rep_seed;
     let (report, sim) = run_linearized_bootstrap(&g, &labels, &rep_cfg);
     man.record_metrics(sim.metrics());
     ssr_bench::record_bootstrap_timeline(&mut man, &report.timeline);

@@ -31,10 +31,18 @@
 //!   scenario the event-wheel fast-forward and the `state_gen` probe cache
 //!   exist for: its ns/op must stay O(1) in n.
 //!
+//! The timing repeats always run **serially** on one thread — fanning them
+//! out would contend for cores and shift `ns_per_op` against the PR 4/5
+//! baselines. Only the extra *untimed* breakdown runs go through the sweep
+//! orchestrator (`--workers N`, docs/SWEEPS.md); their counters are
+//! deterministic per seed, so the artifact's non-timing bytes don't depend
+//! on the worker count.
+//!
 //! Run: `cargo run --release -p ssr-bench --bin exp_perf`
 //! Flags: `--smoke` (tiny sizes, 1 repeat — the CI gate), `--repeats K`
-//! (default 3), `--seed S` (default 1), `--out PATH` (default
-//! `BENCH_perf.json` in the current directory).
+//! (default 3), `--seed S` (default 1), `--workers N` (breakdown phase
+//! only), `--matrix scenario=A,B` (restrict to the named scenarios),
+//! `--out PATH` (default `BENCH_perf.json` in the current directory).
 
 use std::rc::Rc;
 use std::time::Instant;
@@ -194,7 +202,6 @@ fn bench_convergence(n: usize, seed: u64, repeats: u64) -> Row {
         row.ops += 1;
         row.absorb(&sim);
     }
-    row.breakdown = Some(breakdown_run(n, seed, |_sim, _labels| {}));
     row
 }
 
@@ -286,11 +293,36 @@ fn bench_chaos_wound(n: usize, seed: u64, repeats: u64) -> Row {
         row.ops += 1;
         row.absorb(&sim);
     }
-    row.breakdown = Some(breakdown_run(n, seed, |sim, labels| {
-        let succ = chaos::wound_ring_succ(labels.ids(), 3.min(n));
-        chaos::apply_succ_corruption(sim, labels, &succ, true);
-    }));
     row
+}
+
+/// Which untimed instrumented run a scenario needs for its message
+/// breakdown (`ssr-bench-perf/2`); scenarios without simulator messages
+/// (routing, idle) need none.
+enum BreakdownJob {
+    /// Plain bootstrap to consistency (`convergence_n*`).
+    Plain(usize),
+    /// Wound-ring corrupted start (`chaos_wound_n*`).
+    Wound(usize),
+}
+
+impl BreakdownJob {
+    fn run(&self, seed: u64) -> ProvenanceSummary {
+        match *self {
+            BreakdownJob::Plain(n) => breakdown_run(n, seed, |_sim, _labels| {}),
+            BreakdownJob::Wound(n) => breakdown_run(n, seed, |sim, labels| {
+                let succ = chaos::wound_ring_succ(labels.ids(), 3.min(n));
+                chaos::apply_succ_corruption(sim, labels, &succ, true);
+            }),
+        }
+    }
+
+    fn scenario(&self) -> String {
+        match *self {
+            BreakdownJob::Plain(n) => format!("convergence_n{n}"),
+            BreakdownJob::Wound(n) => format!("chaos_wound_n{n}"),
+        }
+    }
 }
 
 /// A converged, quiescent ring watched across `idle_ticks` empty ticks:
@@ -383,13 +415,61 @@ fn main() {
     let chaos_n = if smoke { 50 } else { 200 };
     let (idle_n, idle_ticks) = if smoke { (50, 10_000) } else { (500, 200_000) };
 
+    // `--matrix scenario=A,B` restricts the scenario set (validated against
+    // the full list, like every sweep binary — see docs/SWEEPS.md). The
+    // other matrix dimensions don't apply here: sizes are baked into the
+    // scenario names so two artifacts stay field-for-field comparable.
+    let mut names = ssr_workloads::Matrix::new(
+        convergence_sizes
+            .iter()
+            .map(|n| format!("convergence_n{n}"))
+            .chain([
+                format!("routing_n{routing_n}"),
+                format!("chaos_wound_n{chaos_n}"),
+                format!("idle_watchdog_n{idle_n}"),
+            ]),
+        vec![0],
+        1,
+    );
+    if let Some(spec) = args.opt("matrix") {
+        if let Err(e) = names.override_with(spec) {
+            panic!("--matrix {spec}: {e}");
+        }
+    }
+    let want = |name: &str| names.scenarios.iter().any(|s| s == name);
+
+    // phase 1: the timing repeats — strictly serial, uninstrumented
     let mut rows: Vec<Row> = Vec::new();
     for &n in convergence_sizes {
-        rows.push(bench_convergence(n, seed, repeats));
+        if want(&format!("convergence_n{n}")) {
+            rows.push(bench_convergence(n, seed, repeats));
+        }
     }
-    rows.push(bench_routing(routing_n, routing_pairs, seed, repeats));
-    rows.push(bench_chaos_wound(chaos_n, seed, repeats));
-    rows.push(bench_idle_watchdog(idle_n, idle_ticks, seed));
+    if want(&format!("routing_n{routing_n}")) {
+        rows.push(bench_routing(routing_n, routing_pairs, seed, repeats));
+    }
+    if want(&format!("chaos_wound_n{chaos_n}")) {
+        rows.push(bench_chaos_wound(chaos_n, seed, repeats));
+    }
+    if want(&format!("idle_watchdog_n{idle_n}")) {
+        rows.push(bench_idle_watchdog(idle_n, idle_ticks, seed));
+    }
+
+    // phase 2: the untimed instrumented breakdown runs, fanned out through
+    // the orchestrator (results attach by scenario name, in input order)
+    let jobs: Vec<BreakdownJob> = convergence_sizes
+        .iter()
+        .map(|&n| BreakdownJob::Plain(n))
+        .chain([BreakdownJob::Wound(chaos_n)])
+        .filter(|j| want(&j.scenario()))
+        .collect();
+    let summaries =
+        ssr_workloads::parallel_map(jobs, args.workers(), |job| (job.scenario(), job.run(seed)));
+    for (name, summary) in summaries {
+        if let Some(row) = rows.iter_mut().find(|r| r.name == name) {
+            row.breakdown = Some(summary);
+        }
+    }
 
     println!(
         "{:<22} {:>12} {:>10} {:>12} {:>12} {:>10}",

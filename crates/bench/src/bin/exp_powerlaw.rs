@@ -8,14 +8,18 @@
 //! checks (a) the absolute bound at the largest n and (b) the polylog
 //! shape of the growth.
 //!
+//! The variant × n × seed sweep runs through the deterministic
+//! orchestrator (docs/SWEEPS.md): output bytes never depend on `--workers`.
+//!
 //! Run: `cargo run --release -p ssr-bench --bin exp_powerlaw`
 //! Flags: `--seeds K` (default 5), `--quick` (up to n = 10⁴), `--alpha A`,
+//! `--workers N`, `--matrix SPEC` (e.g. `scenario=lsn;n=1000,10000`),
 //! `--csv PATH`.
 
 use ssr_bench::Args;
 use ssr_linearize::{run, Semantics, Variant};
 use ssr_sim::Metrics;
-use ssr_workloads::{parallel_map, stats, Summary, Table, Topology};
+use ssr_workloads::{run_matrix, stats, Summary, Table, Topology};
 
 fn main() {
     let started = std::time::Instant::now();
@@ -28,6 +32,30 @@ fn main() {
         vec![1_000, 3_000, 10_000, 30_000, 100_000]
     };
 
+    let mut man = ssr_bench::manifest(&args, "exp_powerlaw");
+    man.config("alpha", alpha);
+    let matrix = ssr_bench::resolve_matrix(
+        &args,
+        &mut man,
+        ssr_workloads::Matrix::new(["lsn", "memory"], sizes, seeds),
+    );
+
+    let sweep = run_matrix(&matrix, args.workers(), |job| {
+        let variant = if matrix.name(job) == "lsn" {
+            Variant::lsn()
+        } else {
+            Variant::Memory
+        };
+        let topo = Topology::PowerLaw { n: job.n, alpha };
+        let (g, labels) = topo.instance(job.seed.wrapping_mul(31) ^ job.n as u64);
+        let (rg, _) = ssr_linearize::convergence::relabel_to_ranks(&g, &labels);
+        let r = run(&rg, variant, Semantics::Star, 2000);
+        (
+            r.line_at.map(|x| x as f64).unwrap_or(f64::NAN),
+            r.peak_degree(),
+        )
+    });
+
     let mut table = Table::new(
         format!("E5: LSN on power-law graphs (alpha = {alpha})"),
         &["variant", "n", "rounds (mean ± ci)", "max", "peak degree"],
@@ -37,47 +65,34 @@ fn main() {
     let mut largest_max = 0f64;
     let mut metrics = Metrics::new();
 
-    for &n in &sizes {
-        for variant in [Variant::lsn(), Variant::Memory] {
-            let topo = Topology::PowerLaw { n, alpha };
-            let inputs: Vec<u64> = (0..seeds).collect();
-            let results = parallel_map(inputs, ssr_workloads::sweep::default_workers(), |&seed| {
-                let (g, labels) = topo.instance(seed.wrapping_mul(31) ^ n as u64);
-                let (rg, _) = ssr_linearize::convergence::relabel_to_ranks(&g, &labels);
-                let r = run(&rg, variant, Semantics::Star, 2000);
-                (
-                    r.line_at.map(|x| x as f64).unwrap_or(f64::NAN),
-                    r.peak_degree(),
-                )
-            });
-            let rounds: Vec<f64> = results
-                .iter()
-                .map(|&(r, _)| r)
-                .filter(|r| r.is_finite())
-                .collect();
-            let peak = results.iter().map(|&(_, p)| p).max().unwrap_or(0);
-            for &(r, p) in &results {
-                metrics.incr("runs.total");
-                if r.is_finite() {
-                    metrics.incr("runs.converged");
-                    metrics.observe_hist("rounds.to_line", r as u64);
-                }
-                metrics.observe_hist("state.peak_degree", p as u64);
+    for (variant, n, results) in sweep.cells() {
+        let rounds: Vec<f64> = results
+            .iter()
+            .map(|&(r, _)| r)
+            .filter(|r| r.is_finite())
+            .collect();
+        let peak = results.iter().map(|&(_, p)| p).max().unwrap_or(0);
+        for &(r, p) in results {
+            metrics.incr("runs.total");
+            if r.is_finite() {
+                metrics.incr("runs.converged");
+                metrics.observe_hist("rounds.to_line", r as u64);
             }
-            let s = Summary::of(&rounds);
-            table.row(&[
-                variant.name().to_string(),
-                n.to_string(),
-                s.fmt(1),
-                format!("{:.0}", s.max),
-                peak.to_string(),
-            ]);
-            if variant.name() == "lsn" {
-                xs.push((n as f64).log2());
-                ys.push(s.mean.log2());
-                if n == *sizes.last().unwrap() {
-                    largest_max = s.max;
-                }
+            metrics.observe_hist("state.peak_degree", p as u64);
+        }
+        let s = Summary::of(&rounds);
+        table.row(&[
+            variant.to_string(),
+            n.to_string(),
+            s.fmt(1),
+            format!("{:.0}", s.max),
+            peak.to_string(),
+        ]);
+        if variant == "lsn" {
+            xs.push((n as f64).log2());
+            ys.push(s.mean.log2());
+            if n == *matrix.sizes.last().unwrap() {
+                largest_max = s.max;
             }
         }
     }
@@ -89,7 +104,7 @@ fn main() {
     );
     println!(
         "paper datapoint: < 39 rounds at the largest size; measured max at n = {}: {:.0} rounds — {}",
-        sizes.last().unwrap(),
+        matrix.sizes.last().unwrap(),
         largest_max,
         if largest_max < 39.0 { "HOLDS" } else { "EXCEEDED" }
     );
@@ -99,13 +114,12 @@ fn main() {
     }
 
     // Manifest: merged round/degree histograms plus one representative LSN
-    // run's round-by-round timeline (seed 0, smallest n).
-    let mut man = ssr_bench::manifest(&args, "exp_powerlaw");
-    let rep_n = sizes[0];
-    man.seed(0)
-        .config("alpha", alpha)
-        .config("timeline_n", rep_n);
-    let (g, labels) = Topology::PowerLaw { n: rep_n, alpha }.instance(rep_n as u64);
+    // run's round-by-round timeline (first matrix seed, smallest n).
+    let rep_n = matrix.sizes[0];
+    let rep_seed = matrix.seeds[0];
+    man.seed(rep_seed).config("timeline_n", rep_n);
+    let (g, labels) =
+        Topology::PowerLaw { n: rep_n, alpha }.instance(rep_seed.wrapping_mul(31) ^ rep_n as u64);
     let (rg, _) = ssr_linearize::convergence::relabel_to_ranks(&g, &labels);
     let rep = run(&rg, Variant::lsn(), Semantics::Star, 2000);
     for rs in &rep.rounds {

@@ -9,8 +9,12 @@
 //! also measures mid-convergence success (stopping the bootstrap early) to
 //! show the guarantee is really about *consistency*, not luck.
 //!
+//! The n × seed sweep runs through the deterministic orchestrator
+//! (docs/SWEEPS.md): output bytes never depend on `--workers`.
+//!
 //! Run: `cargo run --release -p ssr-bench --bin exp_routing`
-//! Flags: `--seeds K` (default 5), `--quick`, `--csv PATH`.
+//! Flags: `--seeds K` (default 5), `--quick`, `--workers N`,
+//! `--matrix SPEC` (e.g. `n=100,200;seeds=3`), `--csv PATH`.
 
 use ssr_bench::Args;
 use ssr_core::bootstrap::{make_ssr_nodes, run_linearized_bootstrap, BootstrapConfig};
@@ -18,7 +22,7 @@ use ssr_core::routing::{RoutingStats, RoutingView};
 use ssr_graph::algo;
 use ssr_sim::{LinkConfig, Metrics, Simulator, Time};
 use ssr_types::Rng;
-use ssr_workloads::{parallel_map, scenario::traffic_pairs, Summary, Table, Topology};
+use ssr_workloads::{run_matrix, scenario::traffic_pairs, Summary, Table, Topology};
 
 fn main() {
     let started = std::time::Instant::now();
@@ -30,6 +34,54 @@ fn main() {
         vec![50, 100, 200, 400]
     };
 
+    let mut man = ssr_bench::manifest(&args, "exp_routing");
+    man.seed(0);
+    let matrix = ssr_bench::resolve_matrix(
+        &args,
+        &mut man,
+        ssr_workloads::Matrix::new(["unit-disk"], sizes, seeds),
+    );
+    let rep_seed = matrix.seeds[0];
+
+    let sweep = run_matrix(&matrix, args.workers(), |job| {
+        let (n, seed) = (job.n, job.seed);
+        let topo = Topology::UnitDisk { n, scale: 1.3 };
+        let (g, labels) = topo.instance(seed.wrapping_mul(7919) ^ n as u64);
+        let cfg = BootstrapConfig {
+            seed,
+            max_ticks: 300_000,
+            ..Default::default()
+        };
+        // mid-convergence snapshot: run the same system for only a few
+        // ticks and measure routability
+        let mut early_sim = Simulator::new(
+            g.clone(),
+            make_ssr_nodes(&labels, cfg.ssr),
+            LinkConfig::ideal(),
+            seed,
+        );
+        early_sim.run_until(Time(6));
+        let (report, sim) = run_linearized_bootstrap(&g, &labels, &cfg);
+        assert!(report.converged, "bootstrap failed for n={n} seed={seed}");
+        let mut rng = Rng::new(seed ^ 0xABCD);
+        let pairs = traffic_pairs(n, 10 * n, &mut rng);
+        let mut full = RoutingStats::default();
+        let mut early = RoutingStats::default();
+        // converged-phase routes feed the route.len / route.stretch_milli
+        // histograms; registries merge across seeds after the sweep
+        let mut metrics = Metrics::new();
+        let view = RoutingView::new(sim.protocols());
+        let early_view = RoutingView::new(early_sim.protocols());
+        for &(a, b) in &pairs {
+            let (src, dst) = (labels.id(a), labels.id(b));
+            let shortest = algo::bfs_distances(&g, a)[b];
+            full.record_observed(view.route(src, dst, 4 * n as u32), shortest, &mut metrics);
+            early.record(early_view.route(src, dst, 4 * n as u32), shortest);
+        }
+        let timeline = (seed == rep_seed).then(|| report.timeline.clone());
+        (full, early, metrics, timeline)
+    });
+
     let mut table = Table::new(
         "E7: greedy routing after the linearized bootstrap (unit-disk)",
         &[
@@ -40,60 +92,19 @@ fn main() {
             "stretch (mean)",
         ],
     );
-    let mut merged = Metrics::new();
+    let merged = sweep.merge_metrics(|r| &r.2);
     let mut rep_timeline: Option<(usize, Vec<ssr_core::ConvergencePoint>)> = None;
 
-    for &n in &sizes {
-        let topo = Topology::UnitDisk { n, scale: 1.3 };
-        let inputs: Vec<u64> = (0..seeds).collect();
-        let results = parallel_map(inputs, ssr_workloads::sweep::default_workers(), |&seed| {
-            let (g, labels) = topo.instance(seed.wrapping_mul(7919) ^ n as u64);
-            let cfg = BootstrapConfig {
-                seed,
-                max_ticks: 300_000,
-                ..Default::default()
-            };
-            // mid-convergence snapshot: run the same system for only a few
-            // ticks and measure routability
-            let mut early_sim = Simulator::new(
-                g.clone(),
-                make_ssr_nodes(&labels, cfg.ssr),
-                LinkConfig::ideal(),
-                seed,
-            );
-            early_sim.run_until(Time(6));
-            let (report, sim) = run_linearized_bootstrap(&g, &labels, &cfg);
-            assert!(report.converged, "bootstrap failed for n={n} seed={seed}");
-            let mut rng = Rng::new(seed ^ 0xABCD);
-            let pairs = traffic_pairs(n, 10 * n, &mut rng);
-            let mut full = RoutingStats::default();
-            let mut early = RoutingStats::default();
-            // converged-phase routes feed the route.len / route.stretch_milli
-            // histograms; registries merge across seeds after the sweep
-            let mut metrics = Metrics::new();
-            let view = RoutingView::new(sim.protocols());
-            let early_view = RoutingView::new(early_sim.protocols());
-            for &(a, b) in &pairs {
-                let (src, dst) = (labels.id(a), labels.id(b));
-                let shortest = algo::bfs_distances(&g, a)[b];
-                full.record_observed(view.route(src, dst, 4 * n as u32), shortest, &mut metrics);
-                early.record(early_view.route(src, dst, 4 * n as u32), shortest);
-            }
-            let timeline = (seed == 0).then(|| report.timeline.clone());
-            (full, early, metrics, timeline)
-        });
-        for (_, _, m, tl) in &results {
-            merged.merge(m);
-            if let Some(tl) = tl {
-                rep_timeline = Some((n, tl.clone()));
-            }
+    type SeedResult = (
+        RoutingStats,
+        RoutingStats,
+        Metrics,
+        Option<Vec<ssr_core::ConvergencePoint>>,
+    );
+    for (_, n, results) in sweep.cells() {
+        if let Some(tl) = results.iter().find_map(|r| r.3.as_ref()) {
+            rep_timeline = Some((n, tl.clone()));
         }
-        type SeedResult = (
-            RoutingStats,
-            RoutingStats,
-            Metrics,
-            Option<Vec<ssr_core::ConvergencePoint>>,
-        );
         let agg = |get: &dyn Fn(&SeedResult) -> RoutingStats, phase: &str, table: &mut Table| {
             let srs: Vec<f64> = results
                 .iter()
@@ -122,9 +133,9 @@ fn main() {
     }
 
     // Manifest: route.len / route.stretch_milli histograms merged across
-    // every seed and size; timeline from the seed-0 run at the largest n.
-    let mut man = ssr_bench::manifest(&args, "exp_routing");
-    man.seed(0).record_metrics(&merged);
+    // every seed and size; timeline from the representative-seed run at the
+    // largest n.
+    man.record_metrics(&merged);
     if let Some((n, tl)) = &rep_timeline {
         man.config("timeline_n", n);
         ssr_bench::record_bootstrap_timeline(&mut man, tl);

@@ -8,12 +8,16 @@
 //! baseline (hello beacons carrying the representative) to show the
 //! standing dissemination cost linearization removes.
 //!
+//! The system × n × seed sweep runs through the deterministic orchestrator
+//! (docs/SWEEPS.md): output bytes never depend on `--workers`.
+//!
 //! Known limitation (see DESIGN.md): VRR's hop-by-hop path state is more
 //! fragile than SSR's source routes; a small fraction of runs at larger n
 //! freeze in a crossing state, reported honestly in the `conv` column.
 //!
 //! Run: `cargo run --release -p ssr-bench --bin exp_vrr_compare`
-//! Flags: `--seeds K` (default 5), `--quick`, `--csv PATH`.
+//! Flags: `--seeds K` (default 5), `--quick`, `--workers N`,
+//! `--matrix SPEC` (e.g. `scenario=ssr,vrr-linearized;n=30`), `--csv PATH`.
 
 use ssr_bench::{fmt_count, Args};
 use ssr_core::bootstrap::{run_linearized_bootstrap, BootstrapConfig};
@@ -21,7 +25,7 @@ use ssr_obs::Value;
 use ssr_sim::LinkConfig;
 use ssr_vrr::bootstrap::run_vrr_bootstrap;
 use ssr_vrr::node::VrrMode;
-use ssr_workloads::{parallel_map, summarize_counts, Table, Topology};
+use ssr_workloads::{run_matrix, summarize_counts, Table, Topology};
 
 struct Row {
     converged: bool,
@@ -42,6 +46,73 @@ fn main() {
         vec![16, 30, 50]
     };
 
+    let mut man = ssr_bench::manifest(&args, "exp_vrr_compare");
+    man.seed(0);
+    let matrix = ssr_bench::resolve_matrix(
+        &args,
+        &mut man,
+        ssr_workloads::Matrix::new(["ssr", "vrr-linearized", "vrr-baseline"], sizes, seeds),
+    );
+
+    let sweep = run_matrix(&matrix, args.workers(), |job| {
+        let (n, seed) = (job.n, job.seed);
+        let topo = Topology::UnitDisk { n, scale: 1.3 };
+        let (g, labels) = topo.instance(seed.wrapping_mul(53) ^ n as u64);
+        match matrix.name(job) {
+            "ssr" => {
+                let cfg = BootstrapConfig {
+                    seed,
+                    max_ticks: 200_000,
+                    ..Default::default()
+                };
+                let (r, _) = run_linearized_bootstrap(&g, &labels, &cfg);
+                Row {
+                    converged: r.converged,
+                    ticks: r.ticks,
+                    msgs: r.total_messages,
+                    hello: r
+                        .messages
+                        .iter()
+                        .find(|(k, _)| k == "msg.hello")
+                        .map(|(_, v)| *v)
+                        .unwrap_or(0),
+                    max_state: r.max_state,
+                    mean_state: r.mean_state,
+                }
+            }
+            mode => {
+                let vmode = if mode == "vrr-linearized" {
+                    VrrMode::Linearized
+                } else {
+                    VrrMode::Baseline
+                };
+                // non-convergent VRR runs burn their whole budget at
+                // high message rates; cap it so the sweep stays
+                // tractable (convergent runs finish far earlier)
+                let budget = if vmode == VrrMode::Baseline {
+                    30_000
+                } else {
+                    60_000
+                };
+                let (r, _) =
+                    run_vrr_bootstrap(&g, &labels, vmode, LinkConfig::ideal(), seed, budget);
+                Row {
+                    converged: r.converged,
+                    ticks: r.ticks,
+                    msgs: r.total_messages,
+                    hello: r
+                        .messages
+                        .iter()
+                        .find(|(k, _)| k == "msg.hello")
+                        .map(|(_, v)| *v)
+                        .unwrap_or(0),
+                    max_state: r.max_state,
+                    mean_state: r.mean_state,
+                }
+            }
+        }
+    });
+
     let mut table = Table::new(
         "E10: linearized SSR vs linearized/baseline VRR (unit-disk)",
         &[
@@ -57,101 +128,36 @@ fn main() {
     );
     let mut sweep_means: Vec<(String, Value)> = Vec::new();
 
-    for &n in &sizes {
-        let topo = Topology::UnitDisk { n, scale: 1.3 };
-        for system in ["ssr", "vrr-linearized", "vrr-baseline"] {
-            let inputs: Vec<u64> = (0..seeds).collect();
-            let rows = parallel_map(inputs, ssr_workloads::sweep::default_workers(), |&seed| {
-                let (g, labels) = topo.instance(seed.wrapping_mul(53) ^ n as u64);
-                match system {
-                    "ssr" => {
-                        let cfg = BootstrapConfig {
-                            seed,
-                            max_ticks: 200_000,
-                            ..Default::default()
-                        };
-                        let (r, _) = run_linearized_bootstrap(&g, &labels, &cfg);
-                        Row {
-                            converged: r.converged,
-                            ticks: r.ticks,
-                            msgs: r.total_messages,
-                            hello: r
-                                .messages
-                                .iter()
-                                .find(|(k, _)| k == "msg.hello")
-                                .map(|(_, v)| *v)
-                                .unwrap_or(0),
-                            max_state: r.max_state,
-                            mean_state: r.mean_state,
-                        }
-                    }
-                    mode => {
-                        let vmode = if mode == "vrr-linearized" {
-                            VrrMode::Linearized
-                        } else {
-                            VrrMode::Baseline
-                        };
-                        // non-convergent VRR runs burn their whole budget at
-                        // high message rates; cap it so the sweep stays
-                        // tractable (convergent runs finish far earlier)
-                        let budget = if vmode == VrrMode::Baseline {
-                            30_000
-                        } else {
-                            60_000
-                        };
-                        let (r, _) = run_vrr_bootstrap(
-                            &g,
-                            &labels,
-                            vmode,
-                            LinkConfig::ideal(),
-                            seed,
-                            budget,
-                        );
-                        Row {
-                            converged: r.converged,
-                            ticks: r.ticks,
-                            msgs: r.total_messages,
-                            hello: r
-                                .messages
-                                .iter()
-                                .find(|(k, _)| k == "msg.hello")
-                                .map(|(_, v)| *v)
-                                .unwrap_or(0),
-                            max_state: r.max_state,
-                            mean_state: r.mean_state,
-                        }
-                    }
-                }
-            });
-            let conv = rows.iter().filter(|r| r.converged).count();
-            let ticks = summarize_counts(rows.iter().filter(|r| r.converged).map(|r| r.ticks));
-            let msgs = summarize_counts(rows.iter().map(|r| r.msgs));
-            let hello = summarize_counts(rows.iter().map(|r| r.hello));
-            let max_state = rows.iter().map(|r| r.max_state).max().unwrap_or(0);
-            let mean_state: f64 =
-                rows.iter().map(|r| r.mean_state).sum::<f64>() / rows.len().max(1) as f64;
-            sweep_means.push((
-                format!("{system}/n={n}"),
-                Value::Obj(vec![
-                    ("converged".into(), (conv as u64).into()),
-                    ("ticks_mean".into(), ticks.mean.into()),
-                    ("msgs_mean".into(), msgs.mean.into()),
-                    ("hello_mean".into(), hello.mean.into()),
-                    ("state_max".into(), (max_state as u64).into()),
-                    ("state_mean".into(), mean_state.into()),
-                ]),
-            ));
-            table.row(&[
-                n.to_string(),
-                system.into(),
-                format!("{conv}/{seeds}"),
-                format!("{:.0}", ticks.mean),
-                fmt_count(msgs.mean as u64),
-                fmt_count(hello.mean as u64),
-                max_state.to_string(),
-                format!("{mean_state:.1}"),
-            ]);
-        }
+    for (system, n, rows) in sweep.cells() {
+        let runs = rows.len();
+        let conv = rows.iter().filter(|r| r.converged).count();
+        let ticks = summarize_counts(rows.iter().filter(|r| r.converged).map(|r| r.ticks));
+        let msgs = summarize_counts(rows.iter().map(|r| r.msgs));
+        let hello = summarize_counts(rows.iter().map(|r| r.hello));
+        let max_state = rows.iter().map(|r| r.max_state).max().unwrap_or(0);
+        let mean_state: f64 =
+            rows.iter().map(|r| r.mean_state).sum::<f64>() / rows.len().max(1) as f64;
+        sweep_means.push((
+            format!("{system}/n={n}"),
+            Value::Obj(vec![
+                ("converged".into(), (conv as u64).into()),
+                ("ticks_mean".into(), ticks.mean.into()),
+                ("msgs_mean".into(), msgs.mean.into()),
+                ("hello_mean".into(), hello.mean.into()),
+                ("state_max".into(), (max_state as u64).into()),
+                ("state_mean".into(), mean_state.into()),
+            ]),
+        ));
+        table.row(&[
+            n.to_string(),
+            system.into(),
+            format!("{conv}/{runs}"),
+            format!("{:.0}", ticks.mean),
+            fmt_count(msgs.mean as u64),
+            fmt_count(hello.mean as u64),
+            max_state.to_string(),
+            format!("{mean_state:.1}"),
+        ]);
     }
 
     table.print();
@@ -163,17 +169,19 @@ fn main() {
         println!("(csv written to {path})");
     }
 
-    // Manifest: one representative SSR run (seed 0, largest n) for the full
-    // metric/timeline dump; the three-system sweep means ride as extras.
-    let rep_n = *sizes.last().unwrap();
-    let mut man = ssr_bench::manifest(&args, "exp_vrr_compare");
-    man.seed(0).config("timeline_n", rep_n);
+    // Manifest: one representative SSR run (first matrix seed, largest n)
+    // for the full metric/timeline dump; the three-system sweep means ride
+    // as extras.
+    let rep_n = *matrix.sizes.last().unwrap();
+    let rep_seed = matrix.seeds[0];
+    man.config("timeline_n", rep_n);
     let (g, labels) = Topology::UnitDisk {
         n: rep_n,
         scale: 1.3,
     }
-    .instance(rep_n as u64);
+    .instance(rep_seed.wrapping_mul(53) ^ rep_n as u64);
     let cfg = BootstrapConfig {
+        seed: rep_seed,
         max_ticks: 200_000,
         ..Default::default()
     };

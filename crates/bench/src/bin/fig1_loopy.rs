@@ -18,6 +18,11 @@
 //! 2. **ISPRP with the representative flood** — detects and unwinds it;
 //! 3. **linearized SSR** — resolves it with *zero* flood messages.
 //!
+//! This is a *narrative replay* of one fixed 8-node instance, not a sweep:
+//! the three mechanism sections run serially in story order, so the
+//! orchestrator's `--workers`/`--matrix` flags do not apply here (see
+//! docs/SWEEPS.md for the sweep binaries).
+//!
 //! Run: `cargo run --release -p ssr-bench --bin fig1_loopy [-- --csv out.csv]`
 //! Flags: `--trace-jsonl PATH` streams the ISPRP-with-flood run's event
 //! trace to PATH as JSONL (one object per line; see `ssr_sim::trace`).

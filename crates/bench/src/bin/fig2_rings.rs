@@ -19,6 +19,11 @@
 //!    "preserves the connectedness of the input graph", so a connected
 //!    physical network can never stay partitioned.
 //!
+//! This is a *narrative replay* of one fixed 6-node instance, not a sweep:
+//! the three mechanism sections run serially in story order, so the
+//! orchestrator's `--workers`/`--matrix` flags do not apply here (see
+//! docs/SWEEPS.md for the sweep binaries).
+//!
 //! Run: `cargo run --release -p ssr-bench --bin fig2_rings [-- --csv out.csv]`
 
 use std::collections::BTreeMap;

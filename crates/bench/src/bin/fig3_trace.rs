@@ -6,6 +6,10 @@
 //! ring over eight addresses), printing the full virtual edge set and each
 //! node's left/right neighbor sets per round, for all three variants.
 //!
+//! This is a pure narrative replay of one fixed 8-node instance — it runs
+//! serially and the orchestrator's `--workers`/`--matrix` flags do not
+//! apply (see docs/SWEEPS.md for the sweep binaries).
+//!
 //! Run: `cargo run --release -p ssr-bench --bin fig3_trace [-- --variant pure|memory|lsn]`
 
 use ssr_bench::Args;

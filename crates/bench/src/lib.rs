@@ -5,6 +5,12 @@
 //! command-line convention:
 //!
 //! * `--seeds K` — repetitions per sweep point (default per experiment),
+//! * `--workers N` — sweep fan-out width (`0` = every hardware thread;
+//!   default: cores minus one). Output bytes never depend on this — see
+//!   docs/SWEEPS.md,
+//! * `--matrix SPEC` — override the scenario × n × seed sweep dimensions
+//!   (`scenario=a,b;n=50,100;seeds=4`; see
+//!   [`ssr_workloads::Matrix::override_with`]),
 //! * `--csv PATH` — additionally write the table as CSV,
 //! * `--quick` — smaller sweep for smoke-testing,
 //! * experiment-specific flags documented in each binary's header.
@@ -71,6 +77,39 @@ impl Args {
     pub fn quick(&self) -> bool {
         self.flag("quick")
     }
+
+    /// Sweep fan-out width: `--workers N`, where `0` means every hardware
+    /// thread; defaults to cores minus one. Worker count affects wall
+    /// time only — never output bytes (docs/SWEEPS.md).
+    pub fn workers(&self) -> usize {
+        match self.get("workers", ssr_workloads::default_workers()) {
+            0 => ssr_workloads::orchestrator::max_workers(),
+            k => k,
+        }
+    }
+}
+
+/// Resolves a binary's sweep matrix: the experiment's defaults overridden
+/// by `--matrix SPEC`, with the *resolved* dimensions recorded in the
+/// manifest config. The worker count is deliberately **not** recorded —
+/// the manifest must stay byte-identical across `--workers`, and the
+/// matrix (not the pool size) is what determines the bytes.
+///
+/// # Panics
+/// Panics with a readable message when the spec does not parse or names an
+/// unknown scenario.
+pub fn resolve_matrix(
+    args: &Args,
+    man: &mut ssr_obs::Manifest,
+    mut matrix: ssr_workloads::Matrix,
+) -> ssr_workloads::Matrix {
+    if let Some(spec) = args.opt("matrix") {
+        if let Err(e) = matrix.override_with(spec) {
+            panic!("--matrix {spec}: {e}");
+        }
+    }
+    man.config("matrix", matrix.describe());
+    matrix
 }
 
 /// Starts a run manifest for `exp`, pre-filled with the shared CLI
@@ -165,6 +204,32 @@ mod tests {
         let tl = v.get("timeline").unwrap().as_arr().unwrap();
         assert_eq!(tl[0].get("shape").unwrap().as_str(), Some("loopy(2)"));
         assert_eq!(tl[0].get("churn").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn workers_flag() {
+        assert_eq!(Args::from(&["--workers", "4"]).workers(), 4);
+        assert!(Args::from(&[]).workers() >= 1);
+        // 0 = every hardware thread
+        assert!(Args::from(&["--workers", "0"]).workers() >= 1);
+    }
+
+    #[test]
+    fn resolve_matrix_records_dimensions_but_never_workers() {
+        let a = Args::from(&["--matrix", "n=64;seeds=2", "--workers", "8"]);
+        let mut man = manifest(&a, "exp_x");
+        let m = resolve_matrix(&a, &mut man, ssr_workloads::Matrix::new(["s"], vec![16], 3));
+        assert_eq!(m.sizes, vec![64]);
+        assert_eq!(m.seeds, vec![0, 1]);
+        let json = man.to_json();
+        let v = ssr_obs::parse(&json).unwrap();
+        let config = v.get("config").unwrap();
+        assert_eq!(
+            config.get("matrix").unwrap().as_str(),
+            Some("scenario=s;n=64;seed=0,1")
+        );
+        // byte-identity across --workers: the pool size must not leak in
+        assert!(!json.contains("workers"));
     }
 
     #[test]

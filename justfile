@@ -24,6 +24,15 @@ lint-proto:
 fmt:
     cargo fmt --all --check
 
+# rustdoc, warning-free (the CI doc gate)
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+# orchestrator byte-determinism: tiny exp_chaos matrix, manifests and
+# stdout byte-compared between --workers 1 and 4 (docs/SWEEPS.md)
+sweep-smoke:
+    ./scripts/sweep_smoke.sh
+
 # fig1_loopy with the streaming JSONL sink, then obs trace/summarize/diff
 obs-smoke:
     ./scripts/obs_smoke.sh
